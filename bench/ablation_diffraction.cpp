@@ -1,0 +1,57 @@
+// Channel-model ablation: capped-penetration NLOS (the calibrated default)
+// vs min(penetration, single-knife-edge diffraction). Diffraction softens
+// deep shadows - links behind tall buildings regain the roof-diffracted
+// field - which shifts the throughput landscape and slightly narrows the
+// SkyRAN-vs-Centroid gap. This bounds how sensitive the headline results
+// are to the NLOS model choice.
+#include "common.hpp"
+#include "rf/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skyran;
+  const int n_seeds = bench::seeds_arg(argc, argv, 4);
+  sim::print_banner(std::cout,
+                    "NLOS model ablation: capped penetration vs knife-edge diffraction "
+                    "(campus, 5 UEs, alt 45 m)");
+
+  sim::Table table({"NLOS model", "deep-NLOS excess (dB, p90)", "median mean-tput (Mbit/s)",
+                    "centroid rel. tput"});
+  for (const bool knife : {false, true}) {
+    std::vector<double> excesses, tputs, centroid_rel;
+    for (int s = 0; s < n_seeds; ++s) {
+      sim::WorldConfig wc;
+      wc.terrain_kind = terrain::TerrainKind::kCampus;
+      wc.seed = 1400 + s;
+      wc.channel.use_knife_edge = knife;
+      sim::World world(wc);
+      world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 5, 1410 + s);
+
+      // Distribution of NLOS excess loss (vs pure FSPL) over random links.
+      std::mt19937_64 rng(1420 + s);
+      std::uniform_real_distribution<double> u(10.0, 290.0);
+      std::vector<double> excess;
+      for (int i = 0; i < 300; ++i) {
+        const geo::Vec3 uav{u(rng), u(rng), 45.0};
+        const geo::Vec3 ue{u(rng), u(rng), 1.5};
+        const double pl = world.channel().path_loss_db(uav, ue);
+        excess.push_back(pl - rf::fspl_db(uav.dist(ue), world.channel().frequency_hz()));
+      }
+      excesses.push_back(geo::percentile(excess, 0.9));
+
+      const sim::GroundTruth truth = sim::compute_ground_truth(world, 45.0, 5.0);
+      tputs.push_back(truth.optimal_mean_throughput_bps / 1e6);
+      geo::Vec2 c{};
+      for (const geo::Vec3& ue : world.ue_positions()) c += ue.xy();
+      c = c / static_cast<double>(world.ue_positions().size());
+      centroid_rel.push_back(
+          bench::cap1(sim::relative_throughput(world, truth, world.area().clamp(c))));
+    }
+    table.add_row({knife ? "min(penetration, knife edge)" : "capped penetration (default)",
+                   sim::Table::num(geo::median(excesses), 1),
+                   sim::Table::num(geo::median(tputs), 1),
+                   sim::Table::num(geo::median(centroid_rel), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "  expectation: diffraction softens deep shadow; headline orderings persist\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablations of the adaptability machinery (Sec 3.5):
+//   (a) REM reuse on/off across dynamic epochs: reuse lets a smaller
+//       per-epoch budget hold the same REM accuracy;
+//   (b) the epoch trigger threshold: smaller thresholds mean more frequent
+//       (expensive) epochs, larger ones mean longer degraded service.
+#include "common.hpp"
+#include "mobility/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skyran;
+  const int n_seeds = bench::seeds_arg(argc, argv, 3);
+  const terrain::TerrainKind kind = terrain::TerrainKind::kCampus;
+
+  // ---- (a) REM reuse across epochs ---------------------------------------
+  sim::print_banner(std::cout,
+                    "Ablation (a): REM reuse across 4 dynamic epochs (campus, 6 UEs). Reuse "
+                    "buys accuracy back when the per-epoch budget is tight.");
+  sim::Table reuse_table(
+      {"budget/epoch (m)", "variant", "median REM error (dB)", "median rel. tput"});
+  for (const double budget : {120.0, 250.0, 400.0}) {
+    for (const bool reuse : {true, false}) {
+      std::vector<double> errs, rels;
+      for (int s = 0; s < n_seeds; ++s) {
+        sim::World world = bench::make_world(kind, 920 + s);
+        world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 6, 930 + s);
+        mobility::EpochRelocateMobility mob(world.terrain(), world.ue_positions(), 0.5,
+                                            940 + s);
+        core::SkyRanConfig cfg;
+        cfg.measurement_budget_m = budget;
+        cfg.rem_cell_m = bench::rem_cell(kind);
+        cfg.localization_mode = core::LocalizationMode::kGaussianError;
+        cfg.injected_error_m = 8.0;
+        // Disabling reuse: shrink R so no stored REM or history ever matches.
+        if (!reuse) cfg.reuse_radius_m = 1e-6;
+        core::SkyRan skyran(world, cfg, 950 + s);
+        for (int e = 0; e < 4; ++e) {
+          if (e > 0) {
+            mob.relocate_epoch();
+            world.ue_positions() = mob.positions();
+          }
+          const core::EpochReport r = skyran.run_epoch();
+          if (e == 0) continue;  // epoch 1 is identical for both variants
+          const sim::GroundTruth truth =
+              sim::compute_ground_truth(world, r.altitude_m, bench::eval_cell(kind));
+          rels.push_back(bench::cap1(sim::relative_throughput(world, truth, r.position)));
+          errs.push_back(bench::rem_error_db(world, skyran.current_rems(), cfg.idw));
+        }
+      }
+      reuse_table.add_row({sim::Table::num(budget, 0),
+                           reuse ? "reuse on (R = 10 m)" : "reuse off",
+                           sim::Table::num(geo::median(errs), 1),
+                           sim::Table::num(geo::median(rels), 2)});
+    }
+  }
+  reuse_table.print(std::cout);
+
+  // ---- (b) trigger threshold ----------------------------------------------
+  sim::print_banner(std::cout,
+                    "Ablation (b): epoch trigger threshold over a 40 min walk scenario");
+  sim::Table trig({"threshold", "epochs triggered", "mean service ratio",
+                   "flight overhead (m)"});
+  for (const double threshold : {0.05, 0.10, 0.25, 0.50}) {
+    std::vector<double> epochs_n, ratio, overhead;
+    for (int s = 0; s < n_seeds; ++s) {
+      sim::World world = bench::make_world(kind, 960 + s);
+      world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 8, 970 + s);
+      const auto initial = world.ue_positions();
+      mobility::RouteMobility mob(
+          world.terrain(), initial,
+          mobility::make_random_routes(world.terrain(), initial, 4, 260.0, 980 + s));
+      core::SkyRanConfig cfg;
+      cfg.measurement_budget_m = 400.0;
+      cfg.rem_cell_m = bench::rem_cell(kind);
+      cfg.epoch_drop_threshold = threshold;
+      cfg.localization_mode = core::LocalizationMode::kGaussianError;
+      cfg.injected_error_m = 8.0;
+      core::SkyRan skyran(world, cfg, 990 + s);
+      skyran.run_epoch();
+      int triggered = 0;
+      double ratio_sum = 0.0;
+      int ticks = 0;
+      for (int minute = 0; minute < 40; ++minute) {
+        mob.advance(60.0);
+        world.ue_positions() = mob.positions();
+        if (skyran.should_trigger_epoch()) {
+          skyran.run_epoch();
+          ++triggered;
+        }
+        ratio_sum += std::min(1.0, skyran.served_performance_ratio());
+        ++ticks;
+      }
+      epochs_n.push_back(triggered);
+      ratio.push_back(ratio_sum / ticks);
+      overhead.push_back(skyran.total_flight_m());
+    }
+    trig.add_row({sim::Table::num(threshold, 2), sim::Table::num(geo::median(epochs_n), 0),
+                  sim::Table::num(geo::median(ratio), 2),
+                  sim::Table::num(geo::median(overhead), 0)});
+  }
+  trig.print(std::cout);
+  std::cout << "  paper: ~10% threshold balances overhead and service (Sec 3.5, Fig. 12)\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 7: path-loss variation along a 50 m UAV flight segment (the reason
+// LTE service degrades during probing, Sec 2.5). The paper plots an
+// illustrative segment; we search candidate segments near the campus
+// building and print the most dynamic one.
+// Figure 8: path loss vs UAV altitude - descending first helps (shorter
+// slant range), then hurts once the building shadows the UE, giving a
+// minimum at an intermediate altitude.
+//
+// Paper reference: Fig 7 spans ~77-95 dB over 50 m; Fig 8 spans ~70-110 dB.
+#include "common.hpp"
+
+namespace {
+
+using namespace skyran;
+
+/// Center of mass of all building cells (the campus office block).
+geo::Vec2 building_centroid(const terrain::Terrain& t) {
+  geo::Vec2 sum{};
+  double n = 0.0;
+  t.cells().for_each([&](geo::CellIndex c, const terrain::TerrainCell& cell) {
+    if (cell.clutter == terrain::Clutter::kBuilding && cell.clutter_height > 15.0F) {
+      sum += t.cells().center_of(c);
+      n += 1.0;
+    }
+  });
+  return n > 0.0 ? sum / n : t.area().center();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_seeds = bench::seeds_arg(argc, argv, 3);
+
+  sim::World world = bench::make_world(terrain::TerrainKind::kCampus, 40);
+  const geo::Vec2 block = building_centroid(world.terrain());
+  // UE just north of the office block: links from the south cross it.
+  const geo::Vec2 ue_xy = world.area().clamp(block + geo::Vec2{0.0, 35.0});
+  const geo::Vec3 ue{ue_xy, world.terrain().ground_height(ue_xy) + 1.5};
+
+  sim::print_banner(std::cout, "Figure 7: path loss along a 50 m flight segment (campus)");
+  // Candidate east-west segments south of the building at service altitude:
+  // keep the one with the largest dynamic range (the paper's illustrative
+  // segment is similarly chosen to cross a shadow boundary).
+  double best_span = -1.0;
+  double best_y = 0.0;
+  double best_alt = 0.0;
+  for (const double alt : {35.0, 45.0, 55.0}) {
+    for (double y = block.y - 90.0; y <= block.y - 30.0; y += 15.0) {
+      double lo = 1e9;
+      double hi = -1e9;
+      for (double x = block.x - 25.0; x <= block.x + 25.0; x += 2.0) {
+        const double pl =
+            world.channel().path_loss_db({world.area().clamp({x, y}), alt}, ue);
+        lo = std::min(lo, pl);
+        hi = std::max(hi, pl);
+      }
+      if (hi - lo > best_span) {
+        best_span = hi - lo;
+        best_y = y;
+        best_alt = alt;
+      }
+    }
+  }
+  sim::Table seg({"segment (m)", "path loss (dB)"});
+  for (double x = 0.0; x <= 50.0; x += 5.0) {
+    const geo::Vec2 p = world.area().clamp({block.x - 25.0 + x, best_y});
+    seg.add_row({sim::Table::num(x, 0),
+                 sim::Table::num(world.channel().path_loss_db({p, best_alt}, ue), 1)});
+  }
+  seg.print(std::cout);
+  std::cout << "  span: " << sim::Table::num(best_span, 1)
+            << " dB over 50 m (paper: ~18 dB, 77->95)\n";
+
+  sim::print_banner(std::cout,
+                    "Figure 8: path loss vs UAV altitude (UAV near-overhead, forested UE)");
+  sim::Table alt_table({"altitude (m)", "path loss (dB, median over seeds)"});
+  for (double a = 5.0; a <= 120.0; a += a < 60.0 ? 5.0 : 15.0) {
+    std::vector<double> pls;
+    for (int s = 0; s < n_seeds; ++s) {
+      sim::World w = bench::make_world(terrain::TerrainKind::kCampus, 40 + s);
+      // A UE at the forest edge (paper's UE 7 environment): the UAV hovers a
+      // short horizontal offset away. Descending shortens the slant range
+      // until the 35 m canopy starts clipping the ray.
+      const auto ues = mobility::deploy_mixed_visibility(w.terrain(), 2, 46 + s);
+      const geo::Vec3 u = ues[1];  // foliage-flavored deployment slot
+      const geo::Vec2 uav_xy = w.area().clamp(u.xy() + geo::Vec2{18.0, 6.0});
+      pls.push_back(w.channel().path_loss_db({uav_xy, a}, u));
+    }
+    alt_table.add_row({sim::Table::num(a, 0), sim::Table::num(geo::median(pls), 1)});
+  }
+  alt_table.print(std::cout);
+  std::cout << "  paper: loss falls as the UAV descends until terrain shadowing wins\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 26: measurement flight time needed to reach 0.9x of the optimal
+// throughput, STATIC vs DYNAMIC (half the UEs relocate every epoch), on the
+// NYC terrain.
+// Figure 28: flight time needed to bring the median REM error within 5 dB.
+//
+// Paper reference: STATIC ~100 s for SkyRAN (similar for Uniform at much
+// larger budget); DYNAMIC: SkyRAN ~6 min total vs ~12 min for Uniform.
+#include "common.hpp"
+#include "mobility/model.hpp"
+
+namespace {
+
+using namespace skyran;
+
+constexpr int kEpochs = 4;
+constexpr double kNoConvergence = -1.0;
+
+struct LadderResult {
+  double skyran_minutes = kNoConvergence;
+  double uniform_minutes = kNoConvergence;
+};
+
+/// Smallest per-epoch budget whose runs meet `pass`; returns total flight
+/// minutes across epochs for each scheme.
+template <typename PassFn>
+LadderResult search_ladder(bool dynamic, int n_seeds, PassFn pass) {
+  const terrain::TerrainKind kind = terrain::TerrainKind::kNyc;
+  LadderResult out;
+  for (const double budget : {150.0, 300.0, 450.0, 600.0, 900.0, 1200.0, 1800.0}) {
+    std::vector<double> sky_metric_rel, sky_metric_err, sky_time;
+    std::vector<double> uni_metric_rel, uni_metric_err, uni_time;
+    for (int s = 0; s < n_seeds; ++s) {
+      sim::World world = bench::make_world(kind, 400 + s);
+      world.ue_positions() = mobility::deploy_uniform(world.terrain(), 6, 410 + s);
+      mobility::EpochRelocateMobility mob(world.terrain(), world.ue_positions(), 0.5,
+                                          420 + s);
+      core::SkyRanConfig cfg;
+      cfg.measurement_budget_m = budget;
+      cfg.rem_cell_m = bench::rem_cell(kind);
+      cfg.localization_mode = core::LocalizationMode::kGaussianError;
+      cfg.injected_error_m = 8.0;
+      core::SkyRan skyran(world, cfg, 430 + s);
+
+      double sky_t = 0.0;
+      double uni_t = 0.0;
+      const int epochs = dynamic ? kEpochs : 1;
+      for (int e = 0; e < epochs; ++e) {
+        if (e > 0) {
+          mob.relocate_epoch();
+          world.ue_positions() = mob.positions();
+        }
+        const core::EpochReport r = skyran.run_epoch();
+        sky_t += r.flight_time_s;
+        const sim::GroundTruth truth =
+            sim::compute_ground_truth(world, r.altitude_m, bench::eval_cell(kind));
+        sky_metric_rel.push_back(
+            bench::cap1(sim::relative_throughput(world, truth, r.position)));
+        sky_metric_err.push_back(
+            bench::rem_error_db(world, skyran.current_rems(), cfg.idw));
+
+        const bench::EpochOutcome uni =
+            bench::run_uniform_epoch(world, kind, r.altitude_m, budget, 440 + s + e);
+        uni_t += uni.flight_time_s;
+        uni_metric_rel.push_back(bench::cap1(uni.relative_throughput));
+        uni_metric_err.push_back(uni.median_rem_error_db);
+      }
+      sky_time.push_back(sky_t);
+      uni_time.push_back(uni_t);
+    }
+    if (out.skyran_minutes == kNoConvergence &&
+        pass(geo::median(sky_metric_rel), geo::median(sky_metric_err)))
+      out.skyran_minutes = geo::median(sky_time) / 60.0;
+    if (out.uniform_minutes == kNoConvergence &&
+        pass(geo::median(uni_metric_rel), geo::median(uni_metric_err)))
+      out.uniform_minutes = geo::median(uni_time) / 60.0;
+    if (out.skyran_minutes != kNoConvergence && out.uniform_minutes != kNoConvergence) break;
+  }
+  return out;
+}
+
+std::string show(double minutes) {
+  return minutes == kNoConvergence ? std::string("> max budget")
+                                   : sim::Table::num(minutes, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_seeds = bench::seeds_arg(argc, argv, 3);
+
+  sim::print_banner(std::cout,
+                    "Figure 26: flight time to reach 0.9x optimal throughput (NYC, 6 UEs)");
+  sim::Table f26({"scenario", "SkyRAN (min)", "Uniform (min)"});
+  const auto tput_pass = [](double rel, double) { return rel >= 0.9; };
+  const LadderResult static_t = search_ladder(false, n_seeds, tput_pass);
+  const LadderResult dynamic_t = search_ladder(true, n_seeds, tput_pass);
+  f26.add_row({"STATIC", show(static_t.skyran_minutes), show(static_t.uniform_minutes)});
+  f26.add_row({"DYNAMIC", show(dynamic_t.skyran_minutes), show(dynamic_t.uniform_minutes)});
+  f26.print(std::cout);
+  std::cout << "  paper: STATIC ~1.7 min; DYNAMIC ~6 min (SkyRAN) vs ~12 min (Uniform)\n";
+
+  sim::print_banner(std::cout,
+                    "Figure 28: flight time to bring median REM error within 5 dB");
+  sim::Table f28({"scenario", "SkyRAN (min)", "Uniform (min)"});
+  const auto rem_pass = [](double, double err) { return err <= 5.0; };
+  const LadderResult static_r = search_ladder(false, n_seeds, rem_pass);
+  const LadderResult dynamic_r = search_ladder(true, n_seeds, rem_pass);
+  f28.add_row({"STATIC", show(static_r.skyran_minutes), show(static_r.uniform_minutes)});
+  f28.add_row({"DYNAMIC", show(dynamic_r.skyran_minutes), show(dynamic_r.uniform_minutes)});
+  f28.print(std::cout);
+  std::cout << "  paper: SkyRAN roughly half of Uniform's overhead in both scenarios\n";
+  return 0;
+}

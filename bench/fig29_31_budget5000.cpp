@@ -1,0 +1,97 @@
+// Figures 29-31: scale-up study with a fixed total measurement budget of
+// 5000 m spread across epochs while half the UEs relocate each epoch.
+// Fig 29: relative throughput per terrain. Fig 30: median REM error per
+// terrain. Fig 31: relative throughput vs number of UEs.
+//
+// Paper reference: no SkyRAN advantage on flat RURAL; ~1.4x over Uniform on
+// NYC and LARGE; performance grows with UE count up to ~8.
+#include "common.hpp"
+#include "mobility/model.hpp"
+
+namespace {
+
+using namespace skyran;
+
+struct Outcome {
+  double sky_rel = 0.0;
+  double uni_rel = 0.0;
+  double sky_err = 0.0;
+  double uni_err = 0.0;
+};
+
+Outcome run_dynamic(terrain::TerrainKind kind, int n_ues, int n_seeds, int seed_base,
+                    double total_budget, int kEpochs) {
+  const double per_epoch = total_budget / kEpochs;
+  std::vector<double> sky_rel, uni_rel, sky_err, uni_err;
+  for (int s = 0; s < n_seeds; ++s) {
+    sim::World world = bench::make_world(
+        kind, seed_base + s, kind == terrain::TerrainKind::kLarge ? 4.0 : 1.0);
+    world.ue_positions() =
+        mobility::deploy_uniform(world.terrain(), n_ues, seed_base + 10 + s);
+    mobility::EpochRelocateMobility mob(world.terrain(), world.ue_positions(), 0.5,
+                                        seed_base + 20 + s);
+    core::SkyRanConfig cfg;
+    cfg.measurement_budget_m = per_epoch;
+    cfg.rem_cell_m = bench::rem_cell(kind);
+    cfg.localization_mode = core::LocalizationMode::kGaussianError;
+    cfg.injected_error_m = 8.0;
+    core::SkyRan skyran(world, cfg, seed_base + 30 + s);
+
+    for (int e = 0; e < kEpochs; ++e) {
+      if (e > 0) {
+        mob.relocate_epoch();
+        world.ue_positions() = mob.positions();
+      }
+      const core::EpochReport r = skyran.run_epoch();
+      const sim::GroundTruth truth =
+          sim::compute_ground_truth(world, r.altitude_m, bench::eval_cell(kind));
+      sky_rel.push_back(bench::cap1(sim::relative_throughput(world, truth, r.position)));
+      sky_err.push_back(bench::rem_error_db(world, skyran.current_rems(), cfg.idw));
+
+      const bench::EpochOutcome uni = bench::run_uniform_epoch(
+          world, kind, r.altitude_m, per_epoch, seed_base + 40 + s + e);
+      uni_rel.push_back(bench::cap1(uni.relative_throughput));
+      uni_err.push_back(uni.median_rem_error_db);
+    }
+  }
+  return {geo::median(sky_rel), geo::median(uni_rel), geo::median(sky_err),
+          geo::median(uni_err)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_seeds = bench::seeds_arg(argc, argv, 2);
+
+  sim::print_banner(std::cout,
+                    "Figures 29-30: 5000 m total budget across epochs, half UEs move "
+                    "per epoch (6 UEs)");
+  sim::Table table(
+      {"terrain", "SkyRAN rel. tput", "Uniform rel. tput", "SkyRAN REM err (dB)",
+       "Uniform REM err (dB)"});
+  for (const terrain::TerrainKind kind :
+       {terrain::TerrainKind::kRural, terrain::TerrainKind::kNyc,
+        terrain::TerrainKind::kLarge}) {
+    const Outcome o = run_dynamic(kind, 6, n_seeds, 500, 5000.0, 4);
+    table.add_row({terrain::to_string(kind), sim::Table::num(o.sky_rel, 2),
+                   sim::Table::num(o.uni_rel, 2), sim::Table::num(o.sky_err, 1),
+                   sim::Table::num(o.uni_err, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "  paper: parity on RURAL; SkyRAN ~1.4x Uniform on NYC and LARGE\n";
+
+  sim::print_banner(std::cout,
+                    "Figure 31: relative throughput vs number of UEs (NYC; tighter "
+                    "2400 m / 6-epoch budget so the trend is visible)");
+  sim::Table ue_table({"#UEs per epoch", "SkyRAN rel. tput", "Uniform rel. tput"});
+  for (const int n : {2, 4, 6, 8, 10}) {
+    const Outcome o =
+        run_dynamic(terrain::TerrainKind::kNyc, n, n_seeds, 600 + n * 7, 2400.0, 6);
+    ue_table.add_row({std::to_string(n), sim::Table::num(o.sky_rel, 2),
+                      sim::Table::num(o.uni_rel, 2)});
+  }
+  ue_table.print(std::cout);
+  std::cout << "  paper: SkyRAN improves roughly linearly up to ~8 UEs and stays above "
+               "Uniform\n";
+  return 0;
+}

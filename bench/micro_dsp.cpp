@@ -1,0 +1,154 @@
+// Microbenchmarks of the hot kernels (google-benchmark): FFT engine, SRS
+// ToF estimation, ray tracing, IDW interpolation, k-means, TSP and the full
+// planner step. These bound SkyRAN's onboard compute budget.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "lte/ranging.hpp"
+#include "lte/srs_channel.hpp"
+#include "rem/gradient.hpp"
+#include "rem/idw.hpp"
+#include "rem/kmeans.hpp"
+#include "rem/planner.hpp"
+#include "rem/tsp.hpp"
+#include "rf/channel.hpp"
+#include "terrain/synth.hpp"
+
+namespace {
+
+using namespace skyran;
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lte::CplxVec data(n);
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> g;
+  for (auto& v : data) v = lte::Cplx(g(rng), g(rng));
+  for (auto _ : state) {
+    lte::CplxVec copy = data;
+    lte::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_FftBluestein1536(benchmark::State& state) {
+  lte::CplxVec data(1536);
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> g;
+  for (auto& v : data) v = lte::Cplx(g(rng), g(rng));
+  for (auto _ : state) {
+    lte::CplxVec copy = data;
+    lte::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_FftBluestein1536);
+
+void BM_TofEstimate(benchmark::State& state) {
+  lte::SrsConfig cfg;
+  const lte::SrsSymbol tx = lte::make_srs_symbol(cfg);
+  const lte::TofEstimator est(cfg, static_cast<int>(state.range(0)));
+  std::mt19937_64 rng(2);
+  lte::SrsChannelParams ch;
+  ch.delay_s = 6e-7;
+  ch.snr_db = 15.0;
+  const lte::SrsSymbol rx = lte::apply_srs_channel(tx, ch, rng);
+  for (auto _ : state) {
+    const lte::TofEstimate e = est.estimate(rx);
+    benchmark::DoNotOptimize(e.delay_samples);
+  }
+}
+BENCHMARK(BM_TofEstimate)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_RayTrace(benchmark::State& state) {
+  const auto terrain = std::make_shared<const terrain::Terrain>(terrain::make_nyc(3));
+  const rf::RayTraceChannel ch(terrain, {}, 4);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(10.0, 240.0);
+  for (auto _ : state) {
+    const double pl =
+        ch.path_loss_db({u(rng), u(rng), 60.0}, {u(rng), u(rng), 1.5});
+    benchmark::DoNotOptimize(pl);
+  }
+}
+BENCHMARK(BM_RayTrace);
+
+void BM_IdwFullMap(benchmark::State& state) {
+  std::vector<rem::IdwSample> samples;
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(0.0, 300.0);
+  for (int i = 0; i < 800; ++i) samples.push_back({{u(rng), u(rng)}, u(rng)});
+  const rem::IdwInterpolator idw(samples, geo::Rect::square(300.0));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x = 2.0; x < 300.0; x += 4.0)
+      for (double y = 2.0; y < 300.0; y += 4.0)
+        sum += idw.estimate({x, y}, 8, 2.0, 1e9).value_or(0.0);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_IdwFullMap);
+
+void BM_KMeans(benchmark::State& state) {
+  std::vector<rem::WeightedPoint> pts;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 300.0);
+  for (int i = 0; i < 2000; ++i) pts.push_back({{u(rng), u(rng)}, 1.0 + u(rng) / 300.0});
+  for (auto _ : state) {
+    const rem::KMeansResult r = rem::kmeans(pts, static_cast<int>(state.range(0)), 6);
+    benchmark::DoNotOptimize(r.inertia);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TspTour(benchmark::State& state) {
+  std::vector<geo::Vec2> nodes;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 300.0);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) nodes.push_back({u(rng), u(rng)});
+  for (auto _ : state) {
+    const geo::Path tour = rem::plan_tour({0.0, 0.0}, nodes);
+    benchmark::DoNotOptimize(tour.length());
+  }
+}
+BENCHMARK(BM_TspTour)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GradientMap(benchmark::State& state) {
+  geo::Grid2D<double> snr(geo::Rect::square(300.0), 4.0, 0.0);
+  std::mt19937_64 rng(8);
+  std::normal_distribution<double> g(10.0, 6.0);
+  for (double& v : snr.raw()) v = g(rng);
+  for (auto _ : state) {
+    const geo::Grid2D<double> grad = rem::gradient_map(snr);
+    benchmark::DoNotOptimize(grad.raw().data());
+  }
+}
+BENCHMARK(BM_GradientMap);
+
+void BM_PlannerFullStep(benchmark::State& state) {
+  // The complete Step 6 on a realistic map: aggregate + gradient + k-sweep
+  // + TSP + info gain.
+  rem::Rem rem_map(geo::Rect::square(300.0), 4.0, 60.0, {150.0, 150.0, 1.5});
+  const rf::FsplChannel fspl(2.6e9);
+  rem_map.seed_from_model(fspl, rf::LinkBudget{});
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(5.0, 295.0);
+  std::normal_distribution<double> g(10.0, 6.0);
+  for (int i = 0; i < 1500; ++i) rem_map.add_measurement({u(rng), u(rng)}, g(rng));
+  const std::vector<rem::Rem> rems{rem_map};
+  const std::vector<rem::TrajectoryHistory> history{{}};
+  for (auto _ : state) {
+    rem::PlannerConfig cfg;
+    cfg.budget_m = 800.0;
+    const rem::PlannedTrajectory plan =
+        rem::plan_measurement_trajectory(rems, history, {0.0, 0.0}, cfg);
+    benchmark::DoNotOptimize(plan.cost_m);
+  }
+}
+BENCHMARK(BM_PlannerFullStep);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Walk-through of the SRS -> ToF -> multilateration pipeline (paper Sec 3.2):
+//  1. a UE's Zadoff-Chu SRS symbol traverses a delayed, noisy channel;
+//  2. the eNodeB correlates and upsamples to estimate the time of flight;
+//  3. a short random flight collects GPS-ToF tuples for every UE;
+//  4. the joint solver recovers all UE positions plus the shared processing
+//     offset.
+//
+//   ./example_localization_demo [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "localization/localizer.hpp"
+#include "lte/ranging.hpp"
+#include "lte/srs_channel.hpp"
+#include "mobility/deployment.hpp"
+#include "rf/units.hpp"
+#include "sim/table.hpp"
+#include "sim/world.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skyran;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  // --- Step 1-2: one SRS symbol through a known channel ------------------
+  std::cout << "Step 1-2: SRS ranging on one symbol (10 MHz carrier, K=4 upsampling)\n";
+  lte::SrsConfig srs;
+  const lte::SrsSymbol tx = lte::make_srs_symbol(srs);
+  const lte::TofEstimator estimator(srs, 4);
+  std::mt19937_64 rng(seed);
+
+  sim::Table tof_table({"true distance (m)", "SNR (dB)", "estimated (m)", "error (m)"});
+  for (const double dist : {80.0, 150.0, 260.0}) {
+    for (const double snr : {20.0, 0.0}) {
+      lte::SrsChannelParams ch;
+      ch.delay_s = dist / rf::kSpeedOfLight;
+      ch.snr_db = snr;
+      const lte::TofEstimate est = estimator.estimate(lte::apply_srs_channel(tx, ch, rng));
+      tof_table.add_row({sim::Table::num(dist, 0), sim::Table::num(snr, 0),
+                         sim::Table::num(est.distance_m, 1),
+                         sim::Table::num(est.distance_m - dist, 1)});
+    }
+  }
+  tof_table.print(std::cout);
+  std::cout << "  (one 15.36 MHz sample spans " << sim::Table::num(srs.carrier.meters_per_sample(), 1)
+            << " m; K=4 upsampling plus peak interpolation gets well below that)\n";
+
+  // --- Step 3-4: full flight over the campus world -----------------------
+  std::cout << "\nStep 3-4: localization flight over the campus testbed\n";
+  sim::WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kCampus;
+  wc.seed = seed + 1;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 6, seed + 2);
+
+  localization::LocalizerConfig lc;
+  const localization::UeLocalizer localizer(world.channel(), world.budget(), lc);
+  const localization::LocalizationRun run =
+      localizer.localize(world.area().center(), world.ue_positions(), seed + 3);
+
+  std::cout << "  flight: " << sim::Table::num(run.flight_length_m, 0) << " m random walk, "
+            << sim::Table::num(run.flight_duration_s, 1) << " s at 30 km/h\n";
+  sim::Table loc_table({"UE", "true position", "estimated", "error (m)", "offset (m)"});
+  for (std::size_t i = 0; i < run.estimates.size(); ++i) {
+    const geo::Vec2 truth = world.ue_positions()[i].xy();
+    const localization::UeLocationEstimate& est = run.estimates[i];
+    if (!est.valid) {
+      loc_table.add_row({"UE" + std::to_string(i + 1), "-", "no SRS decoded", "-", "-"});
+      continue;
+    }
+    loc_table.add_row(
+        {"UE" + std::to_string(i + 1),
+         "(" + sim::Table::num(truth.x, 0) + ", " + sim::Table::num(truth.y, 0) + ")",
+         "(" + sim::Table::num(est.position.x, 0) + ", " + sim::Table::num(est.position.y, 0) +
+             ")",
+         sim::Table::num(est.position.dist(truth), 1), sim::Table::num(est.offset_m, 1)});
+  }
+  loc_table.print(std::cout);
+  std::cout << "  (the offset column is the shared ToF processing delay the joint solver\n"
+            << "   refines; existing macro-cell LTE localization is off by 50-100 m)\n";
+  return 0;
+}

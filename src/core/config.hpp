@@ -1,0 +1,62 @@
+// Configuration for the SkyRAN epoch state machine: all operator-settable
+// knobs the paper names (epoch trigger threshold ~10%, REM reuse radius R =
+// 10 m, measurement budget, K range, placement objective).
+#pragma once
+
+#include <cstdint>
+
+#include "localization/localizer.hpp"
+#include "rem/placement.hpp"
+#include "rem/planner.hpp"
+#include "rem/rem.hpp"
+#include "sim/measurement.hpp"
+
+namespace skyran::core {
+
+/// How the epoch obtains UE positions (the PHY pipeline is the real system;
+/// the other modes support ablations like Fig. 9 and fast scale-up sweeps).
+enum class LocalizationMode {
+  kPhy,            ///< full SRS/ToF/multilateration pipeline
+  kPerfect,        ///< oracle positions (upper bound)
+  kGaussianError,  ///< oracle + injected error of a configured magnitude
+};
+
+struct SkyRanConfig {
+  /// Working REM raster (the paper uses 1 m on the testbed; coarser cells
+  /// keep large-area sweeps tractable and are reported as such).
+  double rem_cell_m = 4.0;
+
+  /// New epoch when served performance drops below (1 - threshold) of the
+  /// value at placement time (Sec 3.5; operator default 10%).
+  double epoch_drop_threshold = 0.10;
+
+  /// REM positional reuse radius R (Sec 3.5).
+  double reuse_radius_m = 10.0;
+
+  /// Per-epoch measurement tour budget in meters (0 = planner unconstrained).
+  double measurement_budget_m = 800.0;
+
+  rem::PlannerConfig planner{};
+  rem::IdwParams idw{};
+  localization::LocalizerConfig localizer{};
+  sim::MeasurementConfig measurement{};
+  rem::PlacementObjective objective = rem::PlacementObjective::kMaxMin;
+
+  LocalizationMode localization_mode = LocalizationMode::kPhy;
+  /// Mean localization error injected in kGaussianError mode, meters.
+  double injected_error_m = 0.0;
+
+  /// Optimal-altitude search parameters (Step 5).
+  double start_altitude_m = 120.0;
+  double min_altitude_m = 40.0;
+  double altitude_step_m = 10.0;
+
+  double cruise_mps = uav::kDefaultCruiseMps;
+
+  /// Measurement tours stop once the battery falls to this fraction: the
+  /// remainder is reserved for serving and returning home (Sec 2.5: "the
+  /// shorter the measurement flight, the longer the LTE endurance").
+  double battery_reserve_fraction = 0.3;
+};
+
+}  // namespace skyran::core

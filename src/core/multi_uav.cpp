@@ -1,0 +1,210 @@
+#include "core/multi_uav.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "geo/contract.hpp"
+#include "localization/localizer.hpp"
+#include "rem/kmeans.hpp"
+#include "rem/placement.hpp"
+#include "rem/planner.hpp"
+#include "sim/measurement.hpp"
+
+namespace skyran::core {
+
+MultiSkyRan::MultiSkyRan(sim::World& world, MultiSkyRanConfig config, std::uint64_t seed)
+    : world_(world),
+      config_(config),
+      rng_(seed),
+      fspl_(world.channel().frequency_hz()),
+      store_(config.per_uav.reuse_radius_m) {
+  expects(config.n_uavs >= 1, "MultiSkyRan: need at least one UAV");
+  positions_.assign(static_cast<std::size_t>(config.n_uavs), world.area().center());
+  altitudes_.assign(static_cast<std::size_t>(config.n_uavs), config.per_uav.start_altitude_m);
+}
+
+rem::TrajectoryHistory& MultiSkyRan::history_for(geo::Vec2 ue_position) {
+  for (HistoryEntry& e : history_)
+    if (e.position.dist(ue_position) <= config_.per_uav.reuse_radius_m) return e.trajectories;
+  history_.push_back({ue_position, {}});
+  return history_.back().trajectories;
+}
+
+std::vector<geo::Vec2> MultiSkyRan::localize_ues(MultiEpochReport& report) {
+  const std::vector<geo::Vec3>& truth = world_.ue_positions();
+  std::vector<geo::Vec2> estimates;
+  estimates.reserve(truth.size());
+  switch (config_.per_uav.localization_mode) {
+    case LocalizationMode::kPhy: {
+      // One UAV flies the localization pattern on behalf of the fleet (all
+      // UEs attach to it during the flight).
+      localization::UeLocalizer localizer(world_.channel(), world_.budget(),
+                                          config_.per_uav.localizer);
+      const localization::LocalizationRun run = localizer.localize(
+          world_.area().inflated(-6.0).clamp(positions_.front()), truth, rng_());
+      report.total_flight_m += run.flight_length_m;
+      for (std::size_t i = 0; i < truth.size(); ++i)
+        estimates.push_back(run.estimates[i].valid ? run.estimates[i].position
+                                                   : world_.area().center());
+      break;
+    }
+    case LocalizationMode::kPerfect:
+      for (const geo::Vec3& p : truth) estimates.push_back(p.xy());
+      break;
+    case LocalizationMode::kGaussianError: {
+      const double sigma =
+          config_.per_uav.injected_error_m / std::sqrt(std::numbers::pi / 2.0);
+      std::normal_distribution<double> noise(0.0, sigma);
+      for (const geo::Vec3& p : truth)
+        estimates.push_back(world_.area().clamp(p.xy() + geo::Vec2{noise(rng_), noise(rng_)}));
+      break;
+    }
+  }
+  return estimates;
+}
+
+MultiEpochReport MultiSkyRan::run_epoch() {
+  expects(!world_.ue_positions().empty(), "MultiSkyRan::run_epoch: no UEs in the world");
+  MultiEpochReport report;
+  report.epoch = ++epoch_;
+  report.estimated_ue_positions = localize_ues(report);
+
+  // Partition UEs spatially, one cluster per UAV.
+  const int k =
+      std::min<int>(config_.n_uavs, static_cast<int>(report.estimated_ue_positions.size()));
+  std::vector<rem::WeightedPoint> pts;
+  for (geo::Vec2 p : report.estimated_ue_positions) pts.push_back({p, 1.0});
+  const rem::KMeansResult clusters = rem::kmeans(pts, k, rng_());
+  report.assignment.assign(report.estimated_ue_positions.size(), 0);
+  for (std::size_t i = 0; i < pts.size(); ++i) report.assignment[i] = clusters.assignment[i];
+  assignment_ = report.assignment;
+
+  const SkyRanConfig& cfg = config_.per_uav;
+  for (int u = 0; u < config_.n_uavs; ++u) {
+    // Collect this UAV's UEs (true positions drive physics; estimates drive
+    // the algorithms).
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < assignment_.size(); ++i)
+      if (assignment_[i] == u && u < k) members.push_back(i);
+    if (members.empty()) {
+      // Idle UAV: park at the area center at the start altitude.
+      positions_[static_cast<std::size_t>(u)] = world_.area().center();
+      altitudes_[static_cast<std::size_t>(u)] = cfg.start_altitude_m;
+      continue;
+    }
+
+    std::vector<geo::Vec3> member_true;
+    std::vector<geo::Vec3> member_est3;
+    std::vector<geo::Vec2> member_est;
+    for (const std::size_t i : members) {
+      member_true.push_back(world_.ue_positions()[i]);
+      const geo::Vec2 e = report.estimated_ue_positions[i];
+      member_est.push_back(e);
+      member_est3.emplace_back(e, world_.terrain().ground_height(e) + 1.5);
+    }
+
+    // Altitude above the cluster centroid (fresh each epoch per UAV).
+    geo::Vec2 centroid{};
+    for (geo::Vec2 p : member_est) centroid += p;
+    centroid = world_.area().clamp(centroid / static_cast<double>(member_est.size()));
+    const rem::AltitudeSearchResult alt = rem::find_optimal_altitude(
+        world_.channel(), centroid, member_est3, cfg.start_altitude_m, cfg.min_altitude_m,
+        cfg.altitude_step_m);
+    altitudes_[static_cast<std::size_t>(u)] = alt.altitude_m;
+
+    // Shared-store REMs + shared-history tours for this cluster.
+    std::vector<rem::Rem> rems;
+    std::vector<rem::TrajectoryHistory> histories;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      rems.push_back(store_.make_for_ue(world_.area(), cfg.rem_cell_m, alt.altitude_m,
+                                        member_est3[m], fspl_, world_.budget(), cfg.idw));
+      histories.push_back(history_for(member_est[m]));
+    }
+
+    rem::PlannerConfig planner = cfg.planner;
+    planner.idw = cfg.idw;
+    const double budget = cfg.measurement_budget_m;
+    double remaining = budget > 0.0 ? budget : 0.0;
+    geo::Vec2 start = world_.area().clamp(positions_[static_cast<std::size_t>(u)]);
+    std::vector<geo::Path> flown;
+    bool first = true;
+    while (first || remaining > std::max(60.0, 0.1 * budget)) {
+      planner.budget_m = budget > 0.0 ? remaining : 0.0;
+      planner.seed = rng_();
+      const rem::PlannedTrajectory plan =
+          rem::plan_measurement_trajectory(rems, histories, start, planner);
+      if (plan.cost_m < 1.0) break;
+      const uav::FlightPlan flight =
+          uav::FlightPlan::at_altitude(plan.path, alt.altitude_m, cfg.cruise_mps);
+      sim::run_measurement_flight(world_, flight, rems, member_true, cfg.measurement, rng_);
+      report.total_flight_m += plan.cost_m;
+      remaining -= plan.cost_m;
+      start = plan.path.points().back();
+      for (rem::TrajectoryHistory& h : histories) h.push_back(plan.path);
+      flown.push_back(plan.path);
+      if (budget <= 0.0) break;
+      first = false;
+    }
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      rem::TrajectoryHistory& h = history_for(member_est[m]);
+      h.insert(h.end(), flown.begin(), flown.end());
+      store_.put(rems[m]);
+    }
+
+    std::vector<geo::Grid2D<double>> estimates;
+    for (const rem::Rem& r : rems) estimates.push_back(r.estimate(cfg.idw));
+    const rem::Placement placement = rem::choose_placement_feasible(
+        estimates, world_.terrain(), alt.altitude_m, cfg.objective);
+    positions_[static_cast<std::size_t>(u)] = placement.position;
+  }
+
+  // RSRP handover: once every UAV is placed, UEs camp on the strongest cell
+  // regardless of the planning partition.
+  if (config_.association == Association::kStrongest) {
+    for (std::size_t i = 0; i < assignment_.size(); ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      for (int u = 0; u < config_.n_uavs; ++u) {
+        const auto ui = static_cast<std::size_t>(u);
+        const double snr = world_.snr_db(geo::Vec3{positions_[ui], altitudes_[ui]},
+                                         world_.ue_positions()[i]);
+        if (snr > best) {
+          best = snr;
+          assignment_[i] = u;
+        }
+      }
+    }
+    report.assignment = assignment_;
+  }
+
+  report.uav_positions = positions_;
+  report.uav_altitudes_m = altitudes_;
+  report.total_flight_time_s = report.total_flight_m / cfg.cruise_mps;
+  return report;
+}
+
+double MultiSkyRan::mean_throughput_bps() const {
+  expects(assignment_.size() == world_.ue_positions().size(),
+          "MultiSkyRan: run an epoch before querying service metrics");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    const auto u = static_cast<std::size_t>(assignment_[i]);
+    sum += world_.link_throughput_bps(geo::Vec3{positions_[u], altitudes_[u]},
+                                      world_.ue_positions()[i]);
+  }
+  return sum / static_cast<double>(assignment_.size());
+}
+
+double MultiSkyRan::min_snr_db() const {
+  expects(assignment_.size() == world_.ue_positions().size(),
+          "MultiSkyRan: run an epoch before querying service metrics");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    const auto u = static_cast<std::size_t>(assignment_[i]);
+    best = std::min(best, world_.snr_db(geo::Vec3{positions_[u], altitudes_[u]},
+                                        world_.ue_positions()[i]));
+  }
+  return best;
+}
+
+}  // namespace skyran::core

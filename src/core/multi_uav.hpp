@@ -1,0 +1,87 @@
+// Multi-UAV SkyRAN (the paper's Sec 7-8 extension): several SkyRAN UAVs
+// cover one operating area cooperatively. UEs are spatially partitioned
+// (k-means on the localized positions, one cluster per UAV); the UAVs share
+// a single REM store and trajectory history (the paper: "REMs are
+// cooperatively constructed and shared amongst multiple SkyRAN UAVs"), and
+// each UAV probes, maps and serves its own cluster.
+//
+// Carriers are assumed orthogonal across UAVs (distinct EARFCNs), so no
+// inter-UAV interference is modeled.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/config.hpp"
+#include "rem/store.hpp"
+#include "sim/world.hpp"
+
+namespace skyran::core {
+
+/// How UEs are attached to UAVs after placement.
+enum class Association {
+  kPartition,  ///< keep the k-means planning partition
+  kStrongest,  ///< each UE re-attaches to the UAV with the best SNR (RSRP
+               ///< handover, as real UEs would)
+};
+
+struct MultiSkyRanConfig {
+  SkyRanConfig per_uav{};
+  int n_uavs = 2;
+  Association association = Association::kStrongest;
+};
+
+struct MultiEpochReport {
+  int epoch = 0;
+  std::vector<int> assignment;            ///< UE index -> UAV index
+  std::vector<geo::Vec2> uav_positions;   ///< chosen operating positions
+  std::vector<double> uav_altitudes_m;
+  std::vector<geo::Vec2> estimated_ue_positions;
+  double total_flight_m = 0.0;
+  double total_flight_time_s = 0.0;
+};
+
+class MultiSkyRan {
+ public:
+  MultiSkyRan(sim::World& world, MultiSkyRanConfig config, std::uint64_t seed);
+
+  /// One cooperative epoch: localize -> partition -> per-UAV
+  /// (altitude, tour, REM, placement).
+  MultiEpochReport run_epoch();
+
+  /// True mean per-UE throughput with every UE served by its assigned UAV.
+  double mean_throughput_bps() const;
+
+  /// Worst per-UE SNR across the fleet's assignments.
+  double min_snr_db() const;
+
+  const std::vector<geo::Vec2>& positions() const { return positions_; }
+  const std::vector<double>& altitudes_m() const { return altitudes_; }
+  const std::vector<int>& assignment() const { return assignment_; }
+  const rem::RemStore& rem_store() const { return store_; }
+  int epochs_run() const { return epoch_; }
+
+ private:
+  std::vector<geo::Vec2> localize_ues(MultiEpochReport& report);
+
+  sim::World& world_;
+  MultiSkyRanConfig config_;
+  std::mt19937_64 rng_;
+  rf::FsplChannel fspl_;
+
+  rem::RemStore store_;  ///< shared across the fleet
+  struct HistoryEntry {
+    geo::Vec2 position;
+    rem::TrajectoryHistory trajectories;
+  };
+  std::vector<HistoryEntry> history_;  ///< shared across the fleet
+  rem::TrajectoryHistory& history_for(geo::Vec2 ue_position);
+
+  std::vector<geo::Vec2> positions_;
+  std::vector<double> altitudes_;
+  std::vector<int> assignment_;
+  int epoch_ = 0;
+};
+
+}  // namespace skyran::core

@@ -1,0 +1,213 @@
+#include "core/skyran.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/contract.hpp"
+#include "sim/measurement.hpp"
+
+namespace skyran::core {
+
+SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
+    : world_(world),
+      config_(config),
+      rng_(seed),
+      fspl_(world.channel().frequency_hz()),
+      store_(config.reuse_radius_m),
+      position_(world.area().center()) {
+  expects(config.epoch_drop_threshold > 0.0 && config.epoch_drop_threshold < 1.0,
+          "SkyRan: epoch trigger threshold must be in (0,1)");
+  expects(config.rem_cell_m > 0.0, "SkyRan: REM cell size must be positive");
+}
+
+rem::TrajectoryHistory& SkyRan::history_for(geo::Vec2 ue_position) {
+  for (HistoryEntry& e : history_)
+    if (e.position.dist(ue_position) <= config_.reuse_radius_m) return e.trajectories;
+  history_.push_back({ue_position, {}});
+  return history_.back().trajectories;
+}
+
+const rem::TrajectoryHistory* SkyRan::find_history(geo::Vec2 ue_position) const {
+  for (const HistoryEntry& e : history_)
+    if (e.position.dist(ue_position) <= config_.reuse_radius_m) return &e.trajectories;
+  return nullptr;
+}
+
+std::vector<geo::Vec2> SkyRan::localize_ues(EpochReport& report) {
+  const std::vector<geo::Vec3>& truth = world_.ue_positions();
+  std::vector<geo::Vec2> estimates;
+  estimates.reserve(truth.size());
+
+  switch (config_.localization_mode) {
+    case LocalizationMode::kPhy: {
+      localization::UeLocalizer localizer(world_.channel(), world_.budget(),
+                                          config_.localizer);
+      const localization::LocalizationRun run =
+          localizer.localize(world_.area().inflated(-6.0).clamp(position_), truth, rng_());
+      report.localization_flight_m = run.flight_length_m;
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        // A UE whose SRS could not be decoded falls back to the last known
+        // position family: its true position would be unknown; we use the
+        // area's center as a conservative guess.
+        estimates.push_back(run.estimates[i].valid ? run.estimates[i].position
+                                                   : world_.area().center());
+      }
+      break;
+    }
+    case LocalizationMode::kPerfect: {
+      for (const geo::Vec3& p : truth) estimates.push_back(p.xy());
+      break;
+    }
+    case LocalizationMode::kGaussianError: {
+      // Mean radial error e for a 2-D Gaussian needs per-axis sigma
+      // e / sqrt(pi/2).
+      const double sigma =
+          config_.injected_error_m / std::sqrt(std::numbers::pi / 2.0);
+      std::normal_distribution<double> noise(0.0, sigma);
+      for (const geo::Vec3& p : truth)
+        estimates.push_back(
+            world_.area().clamp(p.xy() + geo::Vec2{noise(rng_), noise(rng_)}));
+      break;
+    }
+  }
+  return estimates;
+}
+
+double SkyRan::ensure_altitude(const std::vector<geo::Vec2>& ue_estimates,
+                               EpochReport& report) {
+  if (altitude_known_) return altitude_;
+  // Step 5: hover above the estimated centroid at 120 m and descend while
+  // path loss keeps dropping.
+  geo::Vec2 centroid{};
+  for (geo::Vec2 p : ue_estimates) centroid += p;
+  centroid = centroid / static_cast<double>(ue_estimates.size());
+  centroid = world_.area().clamp(centroid);
+
+  std::vector<geo::Vec3> ue3;
+  ue3.reserve(ue_estimates.size());
+  for (geo::Vec2 p : ue_estimates)
+    ue3.emplace_back(p, world_.terrain().ground_height(p) + 1.5);
+
+  const rem::AltitudeSearchResult found = rem::find_optimal_altitude(
+      world_.channel(), centroid, ue3, config_.start_altitude_m, config_.min_altitude_m,
+      config_.altitude_step_m);
+  altitude_ = found.altitude_m;
+  altitude_known_ = true;
+  report.altitude_flight_m =
+      (config_.start_altitude_m - altitude_) + found.probes * 2.0;  // descent + hover settling
+  position_ = centroid;
+  return altitude_;
+}
+
+EpochReport SkyRan::run_epoch() {
+  expects(!world_.ue_positions().empty(), "SkyRan::run_epoch: no UEs in the world");
+  EpochReport report;
+  report.epoch = ++epoch_;
+
+  // Steps 1-4: localize the UEs.
+  report.estimated_ue_positions = localize_ues(report);
+
+  // Step 5: operating altitude (first epoch only, Sec 3.3.1).
+  const double altitude = ensure_altitude(report.estimated_ue_positions, report);
+  report.altitude_m = altitude;
+
+  // REM setup with positional reuse (Sec 3.5).
+  current_rems_.clear();
+  current_rems_.reserve(report.estimated_ue_positions.size());
+  report.reused_rem.clear();
+  std::vector<rem::TrajectoryHistory> histories;
+  for (geo::Vec2 est : report.estimated_ue_positions) {
+    const geo::Vec3 ue{est, world_.terrain().ground_height(est) + 1.5};
+    report.reused_rem.push_back(store_.find_near(est) != nullptr);
+    current_rems_.push_back(store_.make_for_ue(world_.area(), config_.rem_cell_m, altitude, ue,
+                                               fspl_, world_.budget(), config_.idw));
+    const rem::TrajectoryHistory* h = find_history(est);
+    histories.push_back(h != nullptr ? *h : rem::TrajectoryHistory{});
+  }
+
+  // Steps 6-7: plan and fly measurement tours until the epoch budget is
+  // spent. Each round replans from the previous tour's endpoint with that
+  // tour added to the history, so successive rounds explore new regions
+  // (the info-gain term steers them away from what was just flown).
+  rem::PlannerConfig planner = config_.planner;
+  planner.idw = config_.idw;
+  const double budget = config_.measurement_budget_m;
+  double remaining = budget > 0.0 ? budget : 0.0;
+  geo::Vec2 tour_start = world_.area().clamp(position_);
+  std::vector<geo::Path> flown;
+  bool first_round = true;
+  while (first_round || remaining > std::max(60.0, 0.1 * budget)) {
+    if (battery_.remaining_fraction() <= config_.battery_reserve_fraction) break;
+    planner.budget_m = budget > 0.0 ? remaining : 0.0;
+    planner.seed = rng_();
+    const rem::PlannedTrajectory plan = rem::plan_measurement_trajectory(
+        current_rems_, histories, tour_start, planner);
+    if (plan.cost_m < 1.0) break;
+    if (first_round) {
+      report.planned_k = plan.k;
+      report.info_to_cost = plan.info_to_cost;
+    }
+
+    const uav::FlightPlan flight =
+        uav::FlightPlan::at_altitude(plan.path, altitude, config_.cruise_mps);
+    sim::run_measurement_flight(world_, flight, current_rems_, config_.measurement, rng_);
+    battery_.drain(flight.duration_s(), config_.cruise_mps);
+
+    report.measurement_flight_m += plan.cost_m;
+    remaining -= plan.cost_m;
+    tour_start = plan.path.points().back();
+    for (rem::TrajectoryHistory& h : histories) h.push_back(plan.path);
+    flown.push_back(plan.path);
+    if (budget <= 0.0) break;  // unconstrained mode: single best tour
+    first_round = false;
+  }
+
+  // Record the flown tours into each UE's history and refresh the store.
+  for (std::size_t i = 0; i < report.estimated_ue_positions.size(); ++i) {
+    rem::TrajectoryHistory& h = history_for(report.estimated_ue_positions[i]);
+    h.insert(h.end(), flown.begin(), flown.end());
+    store_.put(current_rems_[i]);
+  }
+
+  // Placement (Sec 3.4), restricted to cells the UAV can hover in.
+  const std::vector<geo::Grid2D<double>> estimates = current_estimates();
+  const rem::Placement placement = rem::choose_placement_feasible(
+      estimates, world_.terrain(), altitude, config_.objective);
+  const double reposition_m = position_.dist(placement.position);
+  position_ = placement.position;
+  report.position = position_;
+  report.predicted_objective_snr_db = placement.objective_snr_db;
+
+  report.total_flight_m = report.localization_flight_m + report.altitude_flight_m +
+                          report.measurement_flight_m + reposition_m;
+  report.flight_time_s = report.total_flight_m / config_.cruise_mps;
+  total_flight_m_ += report.total_flight_m;
+  battery_.drain((report.localization_flight_m + reposition_m) / config_.cruise_mps,
+                 config_.cruise_mps);
+
+  throughput_at_placement_bps_ = current_mean_throughput_bps();
+  report.served_mean_throughput_bps = throughput_at_placement_bps_;
+  return report;
+}
+
+std::vector<geo::Grid2D<double>> SkyRan::current_estimates() const {
+  std::vector<geo::Grid2D<double>> out;
+  out.reserve(current_rems_.size());
+  for (const rem::Rem& r : current_rems_) out.push_back(r.estimate(config_.idw));
+  return out;
+}
+
+double SkyRan::current_mean_throughput_bps() const {
+  return world_.mean_throughput_bps(geo::Vec3{position_, altitude_});
+}
+
+double SkyRan::served_performance_ratio() const {
+  if (throughput_at_placement_bps_ <= 0.0) return 1.0;
+  return current_mean_throughput_bps() / throughput_at_placement_bps_;
+}
+
+bool SkyRan::should_trigger_epoch() const {
+  return served_performance_ratio() < (1.0 - config_.epoch_drop_threshold);
+}
+
+}  // namespace skyran::core

@@ -1,0 +1,98 @@
+// SkyRan: the public facade running the paper's full epoch state machine
+// (Fig. 10): (1) UE localization flight -> (2) optimal altitude (first epoch)
+// -> (3) gradient/cluster/TSP measurement tour -> (4) REM update -> (5)
+// max-min placement -> (6) serve until aggregate performance degrades past
+// the trigger threshold, with REM and trajectory-history reuse across epochs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "core/config.hpp"
+#include "rem/store.hpp"
+#include "sim/world.hpp"
+#include "uav/battery.hpp"
+
+namespace skyran::core {
+
+/// Everything that happened in one epoch.
+struct EpochReport {
+  int epoch = 0;
+  std::vector<geo::Vec2> estimated_ue_positions;
+  std::vector<bool> reused_rem;          ///< per UE: background came from the store
+  double localization_flight_m = 0.0;
+  double altitude_flight_m = 0.0;        ///< vertical descent during Step 5
+  double measurement_flight_m = 0.0;
+  double total_flight_m = 0.0;
+  double flight_time_s = 0.0;            ///< all flying this epoch, at cruise speed
+  double altitude_m = 0.0;
+  geo::Vec2 position;                    ///< chosen operating position
+  double predicted_objective_snr_db = 0.0;
+  double served_mean_throughput_bps = 0.0;  ///< true mean throughput at placement
+  int planned_k = 0;
+  double info_to_cost = 0.0;
+};
+
+class SkyRan {
+ public:
+  /// `world` is the physical reality; SkyRan only senses it through
+  /// simulated flights and PHY reports. UE positions inside the world may
+  /// change between epochs (mobility); SkyRan re-localizes each epoch.
+  SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed);
+
+  /// Run one full epoch. The UAV ends hovering at the chosen placement.
+  EpochReport run_epoch();
+
+  /// True mean throughput the UEs currently receive from the UAV's position.
+  double current_mean_throughput_bps() const;
+
+  /// Served throughput relative to the value recorded at placement time.
+  double served_performance_ratio() const;
+
+  /// Epoch trigger (Sec 3.5): performance dropped below (1 - threshold).
+  bool should_trigger_epoch() const;
+
+  geo::Vec2 position() const { return position_; }
+  double altitude_m() const { return altitude_; }
+  int epochs_run() const { return epoch_; }
+  double total_flight_m() const { return total_flight_m_; }
+  const rem::RemStore& rem_store() const { return store_; }
+  const std::vector<rem::Rem>& current_rems() const { return current_rems_; }
+  const uav::Battery& battery() const { return battery_; }
+  const SkyRanConfig& config() const { return config_; }
+
+  /// Current per-UE REM estimates (interpolated full maps).
+  std::vector<geo::Grid2D<double>> current_estimates() const;
+
+ private:
+  std::vector<geo::Vec2> localize_ues(EpochReport& report);
+  double ensure_altitude(const std::vector<geo::Vec2>& ue_estimates, EpochReport& report);
+
+  sim::World& world_;
+  SkyRanConfig config_;
+  std::mt19937_64 rng_;
+  rf::FsplChannel fspl_;
+
+  rem::RemStore store_;
+  /// Trajectory history keyed by UE position (same radius-R reuse rule).
+  struct HistoryEntry {
+    geo::Vec2 position;
+    rem::TrajectoryHistory trajectories;
+  };
+  std::vector<HistoryEntry> history_;
+  rem::TrajectoryHistory& history_for(geo::Vec2 ue_position);
+  const rem::TrajectoryHistory* find_history(geo::Vec2 ue_position) const;
+
+  std::vector<rem::Rem> current_rems_;
+  geo::Vec2 position_;
+  double altitude_ = 0.0;
+  bool altitude_known_ = false;
+  int epoch_ = 0;
+  double total_flight_m_ = 0.0;
+  double throughput_at_placement_bps_ = 0.0;
+  uav::Battery battery_;
+};
+
+}  // namespace skyran::core

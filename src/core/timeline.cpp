@@ -1,0 +1,74 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+
+#include "geo/contract.hpp"
+#include "sim/table.hpp"
+
+namespace skyran::core {
+
+TimelineResult run_timeline(SkyRan& skyran, sim::World& world,
+                            mobility::MobilityModel& mobility, const TimelineConfig& config) {
+  expects(config.duration_s > 0.0, "run_timeline: duration must be positive");
+  expects(config.check_period_s > 0.0, "run_timeline: check period must be positive");
+  expects(config.probing_service_factor >= 0.0 && config.probing_service_factor <= 1.0,
+          "run_timeline: probing factor must be in [0,1]");
+  expects(skyran.epochs_run() == 0, "run_timeline: SkyRan must start fresh");
+
+  TimelineResult result;
+  double now = 0.0;
+  double ratio_time_integral = 0.0;
+
+  const auto run_epoch = [&] {
+    const EpochReport r = skyran.run_epoch();
+    result.events.push_back({TimelineEvent::Kind::kEpoch, now,
+                             "epoch " + std::to_string(r.epoch) + ": flew " +
+                                 sim::Table::num(r.total_flight_m, 0) + " m in " +
+                                 sim::Table::num(r.flight_time_s, 0) + " s"});
+    ++result.epochs_run;
+    result.total_flight_m += r.total_flight_m;
+    // Time passes while flying; UEs keep moving and service is degraded.
+    mobility.advance(r.flight_time_s);
+    world.ue_positions() = mobility.positions();
+    ratio_time_integral += config.probing_service_factor * r.flight_time_s;
+    now += r.flight_time_s;
+  };
+
+  run_epoch();  // initial placement
+
+  bool battery_hold = false;
+  while (now < config.duration_s) {
+    const double step = std::min(config.check_period_s, config.duration_s - now);
+    mobility.advance(step);
+    world.ue_positions() = mobility.positions();
+    now += step;
+
+    const double ratio = std::min(1.0, skyran.served_performance_ratio());
+    ratio_time_integral += ratio * step;
+    result.ratio_series.emplace_back(now, ratio);
+
+    if (skyran.should_trigger_epoch()) {
+      if (skyran.battery().remaining_fraction() <= config.battery_floor_fraction) {
+        if (!battery_hold) {
+          result.events.push_back({TimelineEvent::Kind::kBatteryHold, now,
+                                   "trigger suppressed: battery at " +
+                                       sim::Table::num(100.0 * skyran.battery().remaining_fraction(),
+                                                  0) +
+                                       " %"});
+          battery_hold = true;
+        }
+        continue;
+      }
+      result.events.push_back({TimelineEvent::Kind::kTrigger, now,
+                               "performance ratio " + sim::Table::num(ratio, 2) +
+                                   " below threshold"});
+      run_epoch();
+    }
+  }
+
+  result.mean_service_ratio = now > 0.0 ? ratio_time_integral / now : 0.0;
+  result.battery_remaining_fraction = skyran.battery().remaining_fraction();
+  return result;
+}
+
+}  // namespace skyran::core

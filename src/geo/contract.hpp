@@ -1,0 +1,27 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw rather than abort so that unit
+// tests can assert on misuse of the public API.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace skyran {
+
+/// Thrown when a function precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Precondition check: throws ContractViolation when `condition` is false.
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw ContractViolation(std::string("precondition violated: ") + message);
+}
+
+/// Postcondition check: throws ContractViolation when `condition` is false.
+inline void ensures(bool condition, const char* message) {
+  if (!condition) throw ContractViolation(std::string("postcondition violated: ") + message);
+}
+
+}  // namespace skyran

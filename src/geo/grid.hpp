@@ -1,0 +1,134 @@
+// Grid2D<T>: a dense raster over a rectangular ground area with a fixed cell
+// size in meters. This is the backbone type for terrains, REMs, gradient maps
+// and min-SNR maps (paper quantizes all space into 1 m x 1 m cells, Sec 3.3).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "geo/contract.hpp"
+#include "geo/rect.hpp"
+#include "geo/vec.hpp"
+
+namespace skyran::geo {
+
+/// Integer cell index within a Grid2D.
+struct CellIndex {
+  int ix = 0;
+  int iy = 0;
+  constexpr bool operator==(const CellIndex&) const = default;
+};
+
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  /// Grid covering `area` with square cells of `cell_size` meters, every cell
+  /// initialized to `fill`. Partial cells at the far edges are included.
+  Grid2D(Rect area, double cell_size, T fill = T{})
+      : area_(area), cell_size_(cell_size) {
+    expects(cell_size > 0.0, "Grid2D: cell size must be positive");
+    expects(area.width() > 0.0 && area.height() > 0.0, "Grid2D: area must be non-empty");
+    nx_ = static_cast<int>(std::ceil(area.width() / cell_size - 1e-9));
+    ny_ = static_cast<int>(std::ceil(area.height() / cell_size - 1e-9));
+    nx_ = std::max(nx_, 1);
+    ny_ = std::max(ny_, 1);
+    cells_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_), fill);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t size() const { return cells_.size(); }
+  double cell_size() const { return cell_size_; }
+  const Rect& area() const { return area_; }
+
+  bool in_bounds(CellIndex c) const {
+    return c.ix >= 0 && c.ix < nx_ && c.iy >= 0 && c.iy < ny_;
+  }
+
+  T& at(CellIndex c) {
+    expects(in_bounds(c), "Grid2D::at: cell out of bounds");
+    return cells_[flat(c)];
+  }
+  const T& at(CellIndex c) const {
+    expects(in_bounds(c), "Grid2D::at: cell out of bounds");
+    return cells_[flat(c)];
+  }
+  T& at(int ix, int iy) { return at(CellIndex{ix, iy}); }
+  const T& at(int ix, int iy) const { return at(CellIndex{ix, iy}); }
+
+  /// Unchecked access for hot loops; caller guarantees bounds.
+  T& at_unchecked(CellIndex c) { return cells_[flat(c)]; }
+  const T& at_unchecked(CellIndex c) const { return cells_[flat(c)]; }
+
+  /// Cell containing the world point `p` (clamped to the grid edge so that
+  /// points exactly on the max boundary map to the last cell).
+  CellIndex cell_of(Vec2 p) const {
+    expects(area_.contains(p), "Grid2D::cell_of: point outside grid area");
+    int ix = static_cast<int>((p.x - area_.min.x) / cell_size_);
+    int iy = static_cast<int>((p.y - area_.min.y) / cell_size_);
+    ix = std::min(ix, nx_ - 1);
+    iy = std::min(iy, ny_ - 1);
+    return {ix, iy};
+  }
+
+  /// World coordinates of the center of cell `c`.
+  Vec2 center_of(CellIndex c) const {
+    expects(in_bounds(c), "Grid2D::center_of: cell out of bounds");
+    return {area_.min.x + (c.ix + 0.5) * cell_size_,
+            area_.min.y + (c.iy + 0.5) * cell_size_};
+  }
+
+  /// Value at the cell containing world point `p`.
+  const T& value_at(Vec2 p) const { return at(cell_of(p)); }
+  T& value_at(Vec2 p) { return at(cell_of(p)); }
+
+  void fill(const T& v) { std::fill(cells_.begin(), cells_.end(), v); }
+
+  /// Visit every cell as (index, mutable value).
+  template <typename F>
+  void for_each(F&& f) {
+    for (int iy = 0; iy < ny_; ++iy)
+      for (int ix = 0; ix < nx_; ++ix) f(CellIndex{ix, iy}, cells_[flat({ix, iy})]);
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (int iy = 0; iy < ny_; ++iy)
+      for (int ix = 0; ix < nx_; ++ix) f(CellIndex{ix, iy}, cells_[flat({ix, iy})]);
+  }
+
+  /// Element-wise map into a new grid of the same geometry.
+  template <typename F>
+  auto map(F&& f) const -> Grid2D<std::invoke_result_t<F, T>> {
+    Grid2D<std::invoke_result_t<F, T>> out(area_, cell_size_);
+    for (std::size_t i = 0; i < cells_.size(); ++i) out.raw()[i] = f(cells_[i]);
+    return out;
+  }
+
+  std::vector<T>& raw() { return cells_; }
+  const std::vector<T>& raw() const { return cells_; }
+
+  /// True when `other` covers the same area with the same cell layout.
+  template <typename U>
+  bool same_geometry(const Grid2D<U>& other) const {
+    return nx_ == other.nx() && ny_ == other.ny() &&
+           std::abs(cell_size_ - other.cell_size()) < 1e-9 &&
+           area_.min == other.area().min && area_.max == other.area().max;
+  }
+
+ private:
+  std::size_t flat(CellIndex c) const {
+    return static_cast<std::size_t>(c.iy) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(c.ix);
+  }
+
+  Rect area_;
+  double cell_size_ = 1.0;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> cells_;
+};
+
+}  // namespace skyran::geo

@@ -1,0 +1,34 @@
+// Deterministic lattice value-noise with fractal octaves. Used to synthesize
+// rolling ground elevation and spatially-correlated shadow fading fields.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/vec.hpp"
+
+namespace skyran::geo {
+
+/// Smooth pseudo-random scalar field over the plane. Values are roughly in
+/// [-1, 1] and are continuous in (x, y). The field is a pure function of
+/// (seed, point): two instances with the same seed agree everywhere.
+class ValueNoise {
+ public:
+  /// `scale` is the correlation length in meters of the base octave.
+  ValueNoise(std::uint64_t seed, double scale, int octaves = 4, double persistence = 0.5);
+
+  /// Sample the fractal field at `p`.
+  double sample(Vec2 p) const;
+
+  /// Sample a single octave lattice at unit frequency (exposed for tests).
+  double base(Vec2 p) const;
+
+ private:
+  double lattice(std::int64_t ix, std::int64_t iy) const;
+
+  std::uint64_t seed_;
+  double scale_;
+  int octaves_;
+  double persistence_;
+};
+
+}  // namespace skyran::geo

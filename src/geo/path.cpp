@@ -1,0 +1,67 @@
+#include "geo/path.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/contract.hpp"
+
+namespace skyran::geo {
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 <= 0.0) return p.dist(a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return p.dist(a + ab * t);
+}
+
+double Path::length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) total += points_[i].dist(points_[i - 1]);
+  return total;
+}
+
+Vec2 Path::point_at(double s) const {
+  expects(!points_.empty(), "Path::point_at: empty path");
+  if (s <= 0.0) return points_.front();
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double seg = points_[i].dist(points_[i - 1]);
+    if (s <= seg) {
+      if (seg <= 0.0) return points_[i];
+      return points_[i - 1] + (points_[i] - points_[i - 1]) * (s / seg);
+    }
+    s -= seg;
+  }
+  return points_.back();
+}
+
+Path Path::resampled(double spacing) const {
+  expects(spacing > 0.0, "Path::resampled: spacing must be positive");
+  if (points_.size() < 2) return *this;
+  const double total = length();
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(total / spacing) + 2);
+  for (double s = 0.0; s < total; s += spacing) out.push_back(point_at(s));
+  out.push_back(points_.back());
+  return Path(std::move(out));
+}
+
+double Path::distance_to(Vec2 p) const {
+  expects(!points_.empty(), "Path::distance_to: empty path");
+  if (points_.size() == 1) return p.dist(points_.front());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    best = std::min(best, point_segment_distance(p, points_[i - 1], points_[i]));
+  return best;
+}
+
+double Path::mean_distance_to(const Path& other, double spacing) const {
+  expects(!points_.empty() && !other.points_.empty(),
+          "Path::mean_distance_to: both paths must be non-empty");
+  const Path samples = resampled(spacing);
+  double sum = 0.0;
+  for (Vec2 p : samples.points()) sum += other.distance_to(p);
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace skyran::geo

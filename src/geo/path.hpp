@@ -1,0 +1,50 @@
+// Polyline paths: UAV trajectories are polylines through waypoints, quantized
+// to ~1 m spacing for measurement (paper Sec 3.3.2). Provides length,
+// resampling, and point-to-path / path-to-path distances used by the
+// information-gain computation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/vec.hpp"
+
+namespace skyran::geo {
+
+/// A 2-D polyline through an ordered list of waypoints.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<Vec2> points) : points_(std::move(points)) {}
+
+  const std::vector<Vec2>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  void push_back(Vec2 p) { points_.push_back(p); }
+
+  /// Total arc length of the polyline.
+  double length() const;
+
+  /// Point at arc-length `s` from the start, clamped to [0, length()].
+  Vec2 point_at(double s) const;
+
+  /// New path with points spaced `spacing` meters apart along the arc
+  /// (endpoints included). An empty or single-point path is returned as-is.
+  Path resampled(double spacing) const;
+
+  /// Shortest distance from `p` to any segment of the path.
+  double distance_to(Vec2 p) const;
+
+  /// Mean over this path's resampled points of the distance to `other`.
+  /// Used as the "novelty" of this path relative to a historical one.
+  double mean_distance_to(const Path& other, double spacing = 5.0) const;
+
+ private:
+  std::vector<Vec2> points_;
+};
+
+/// Shortest distance from point `p` to segment [a, b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+}  // namespace skyran::geo

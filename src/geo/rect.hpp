@@ -1,0 +1,48 @@
+// Axis-aligned rectangle describing an operating area on the ground plane.
+#pragma once
+
+#include <algorithm>
+
+#include "geo/contract.hpp"
+#include "geo/vec.hpp"
+
+namespace skyran::geo {
+
+/// Axis-aligned 2-D rectangle, [min, max] inclusive on both axes.
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr Rect() = default;
+  Rect(Vec2 min_, Vec2 max_) : min(min_), max(max_) {
+    expects(min.x <= max.x && min.y <= max.y, "Rect: min must not exceed max");
+  }
+
+  /// Square area with the southwest corner at the origin.
+  static Rect square(double side) { return {{0.0, 0.0}, {side, side}}; }
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  double area() const { return width() * height(); }
+  Vec2 center() const { return (min + max) * 0.5; }
+
+  bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Closest point inside the rectangle to `p`.
+  Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+
+  /// Rectangle grown by `margin` on every side (shrunk when negative).
+  Rect inflated(double margin) const {
+    Rect r;
+    r.min = {min.x - margin, min.y - margin};
+    r.max = {max.x + margin, max.y + margin};
+    expects(r.min.x <= r.max.x && r.min.y <= r.max.y, "Rect::inflated: margin collapses rect");
+    return r;
+  }
+};
+
+}  // namespace skyran::geo

@@ -1,0 +1,51 @@
+#include "geo/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/contract.hpp"
+
+namespace skyran::geo {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  expects(!xs.empty(), "percentile: empty input");
+  expects(p >= 0.0 && p <= 1.0, "percentile: p must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs, int resolution) {
+  expects(!xs.empty(), "empirical_cdf: empty input");
+  expects(resolution >= 2, "empirical_cdf: resolution must be >= 2");
+  std::vector<CdfPoint> out;
+  out.reserve(static_cast<std::size_t>(resolution));
+  for (int i = 0; i < resolution; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(resolution - 1);
+    out.push_back({percentile(xs, p), p});
+  }
+  return out;
+}
+
+}  // namespace skyran::geo

@@ -1,0 +1,33 @@
+// Small statistics helpers shared by metrics and benches: median, arbitrary
+// percentiles, mean, and empirical CDF extraction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace skyran::geo {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (p in [0,1]) by linear interpolation between order
+/// statistics. Throws ContractViolation for an empty input or p out of range.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double probability = 0.0;
+};
+
+/// Empirical CDF sampled at `resolution` evenly spaced probabilities
+/// (inclusive of 0 and 1). Throws for empty input.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs, int resolution = 20);
+
+}  // namespace skyran::geo

@@ -1,0 +1,69 @@
+#include "localization/localizer.hpp"
+
+#include "geo/contract.hpp"
+#include "uav/trajectory.hpp"
+
+namespace skyran::localization {
+
+UeLocalizer::UeLocalizer(const rf::RayTraceChannel& channel, rf::LinkBudget budget,
+                         LocalizerConfig config)
+    : channel_(channel), budget_(budget), config_(config) {
+  expects(config.flight_length_m > 0.0, "UeLocalizer: flight length must be positive");
+}
+
+LocalizationRun UeLocalizer::localize(geo::Vec2 start, std::vector<geo::Vec3> true_ue_positions,
+                                      std::uint64_t seed) const {
+  const geo::Rect area = channel_.terrain().area();
+  expects(area.contains(start), "UeLocalizer::localize: start must be inside the area");
+
+  const geo::Path track = uav::random_walk(area.inflated(-5.0), area.inflated(-5.0).clamp(start),
+                                           config_.flight_length_m, config_.flight_leg_m, seed);
+  const uav::FlightPlan plan =
+      uav::FlightPlan::at_altitude(track, config_.flight_altitude_m, config_.cruise_mps);
+  const std::vector<uav::FlightSample> samples =
+      uav::fly(plan, 1.0 / config_.ranging.gps_rate_hz);
+
+  const ChannelLosOracle los(channel_);
+  LocalizationRun run;
+  run.flight_length_m = plan.length_m();
+  run.flight_duration_s = plan.duration_s();
+  run.estimates.reserve(true_ue_positions.size());
+
+  // Collect GPS-ToF tuples for every UE over the same flight, then solve all
+  // UEs jointly: the ToF processing offset is one constant of the payload,
+  // and sharing it across UEs breaks the per-UE radial degeneracy that a
+  // short flight aperture leaves.
+  std::mt19937_64 rng(seed ^ 0x10ca112eULL);
+  std::vector<GpsTofSeries> per_ue_tuples;
+  std::vector<double> ue_altitudes;
+  per_ue_tuples.reserve(true_ue_positions.size());
+  ue_altitudes.reserve(true_ue_positions.size());
+  for (std::size_t i = 0; i < true_ue_positions.size(); ++i) {
+    uav::GpsSensor gps(seed ^ (0x9125ULL + i), config_.gps_sigma_m);
+    if (config_.gps_outage_probability > 0.0)
+      gps.set_outage_model(config_.gps_outage_probability, config_.gps_outage_mean_samples);
+    per_ue_tuples.push_back(collect_gps_tof(samples, true_ue_positions[i], channel_, los,
+                                            budget_, gps, config_.ranging, rng));
+    ue_altitudes.push_back(true_ue_positions[i].z);
+  }
+
+  JointOptions joint;
+  joint.per_ue = config_.solver;
+  joint.per_ue.seed = seed ^ 0x51ab5ULL;
+  const JointMultilaterationResult fit =
+      multilaterate_joint(per_ue_tuples, area, ue_altitudes, joint);
+
+  for (std::size_t i = 0; i < true_ue_positions.size(); ++i) {
+    UeLocationEstimate est;
+    if (per_ue_tuples[i].size() >= 4) {
+      est.position = fit.per_ue[i].position;
+      est.offset_m = fit.per_ue[i].offset_m;
+      est.rms_residual_m = fit.per_ue[i].rms_residual_m;
+      est.valid = true;
+    }
+    run.estimates.push_back(est);
+  }
+  return run;
+}
+
+}  // namespace skyran::localization

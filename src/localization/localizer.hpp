@@ -1,0 +1,66 @@
+// UeLocalizer: the complete Step 1-4 block of the SkyRAN epoch (Fig. 10).
+// Plans the short random localization flight, runs the GPS-ToF pipeline per
+// UE and multilaterates each UE's position.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "localization/multilateration.hpp"
+#include "localization/pipeline.hpp"
+#include "rf/channel.hpp"
+#include "terrain/terrain.hpp"
+
+namespace skyran::localization {
+
+struct LocalizerConfig {
+  RangingConfig ranging{};
+  MultilaterationOptions solver{};
+  double flight_length_m = 30.0;  ///< error flattens ~20-30 m (paper Fig. 19)
+  /// Leg length of the random walk; two to three legs per flight keeps the
+  /// spatial aperture (what localization geometry cares about) close to the
+  /// flown length.
+  double flight_leg_m = 9.0;
+  double flight_altitude_m = 60.0;
+  double cruise_mps = uav::kDefaultCruiseMps;
+  double gps_sigma_m = 1.5;
+  /// Optional GPS outage model (Gilbert): probability of losing lock per
+  /// 50 Hz sample and mean outage length in samples. 0 = never.
+  double gps_outage_probability = 0.0;
+  double gps_outage_mean_samples = 10.0;
+};
+
+struct UeLocationEstimate {
+  geo::Vec2 position;
+  double offset_m = 0.0;
+  double rms_residual_m = 0.0;
+  bool valid = false;  ///< false when too few SRS reports decoded
+};
+
+struct LocalizationRun {
+  std::vector<UeLocationEstimate> estimates;  ///< one per input UE
+  double flight_length_m = 0.0;
+  double flight_duration_s = 0.0;
+};
+
+class UeLocalizer {
+ public:
+  /// `channel` is the ground-truth propagation world (also the LOS oracle).
+  UeLocalizer(const rf::RayTraceChannel& channel, rf::LinkBudget budget,
+              LocalizerConfig config);
+
+  /// Localize every UE in `true_ue_positions` with one random flight
+  /// starting at `start`. Deterministic in `seed`.
+  LocalizationRun localize(geo::Vec2 start, std::vector<geo::Vec3> true_ue_positions,
+                           std::uint64_t seed) const;
+
+  const LocalizerConfig& config() const { return config_; }
+
+ private:
+  const rf::RayTraceChannel& channel_;
+  rf::LinkBudget budget_;
+  LocalizerConfig config_;
+};
+
+}  // namespace skyran::localization

@@ -1,0 +1,299 @@
+#include "localization/multilateration.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <random>
+
+#include "geo/contract.hpp"
+#include "geo/stats.hpp"
+
+namespace skyran::localization {
+
+namespace {
+
+struct FitState {
+  geo::Vec2 u;
+  double b = 0.0;
+};
+
+double huber_weight(double r, double delta) {
+  const double ar = std::abs(r);
+  return ar <= delta ? 1.0 : delta / ar;
+}
+
+double rms_residual(std::span<const GpsTofTuple> tuples, const FitState& s, double ue_z) {
+  double sq = 0.0;
+  for (const GpsTofTuple& t : tuples) {
+    const double r = t.uav_position.dist(geo::Vec3{s.u, ue_z}) + s.b - t.range_m;
+    sq += r * r;
+  }
+  return std::sqrt(sq / static_cast<double>(tuples.size()));
+}
+
+/// Robust per-UE cost: median absolute residual (insensitive to NLOS
+/// outlier tuples).
+double median_abs_residual(std::span<const GpsTofTuple> tuples, const FitState& s,
+                           double ue_z) {
+  std::vector<double> abs_r;
+  abs_r.reserve(tuples.size());
+  for (const GpsTofTuple& t : tuples)
+    abs_r.push_back(
+        std::abs(t.uav_position.dist(geo::Vec3{s.u, ue_z}) + s.b - t.range_m));
+  return geo::median(abs_r);
+}
+
+/// Median of (range - distance) over tuples: the L1-optimal constant offset
+/// for a candidate position.
+double median_excess(std::span<const GpsTofTuple> tuples, geo::Vec2 u, double ue_z) {
+  std::vector<double> excess;
+  excess.reserve(tuples.size());
+  for (const GpsTofTuple& t : tuples)
+    excess.push_back(t.range_m - t.uav_position.dist(geo::Vec3{u, ue_z}));
+  std::nth_element(excess.begin(), excess.begin() + excess.size() / 2, excess.end());
+  return excess[excess.size() / 2];
+}
+
+/// Solve the n x n system A x = b in place by Gaussian elimination with
+/// partial pivoting (n <= 3 here). Returns false when singular.
+template <int N>
+bool solve_dense(std::array<std::array<double, N>, N> a, std::array<double, N> b,
+                 std::array<double, N>& x) {
+  for (int col = 0; col < N; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < N; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int r = col + 1; r < N; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c < N; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int r = N - 1; r >= 0; --r) {
+    double s = b[r];
+    for (int c = r + 1; c < N; ++c) s -= a[r][c] * x[c];
+    x[r] = s / a[r][r];
+  }
+  return true;
+}
+
+/// Gauss-Newton with Huber weights from one start. When `fit_offset` is
+/// false, b stays fixed and only (x, y) is solved (2x2 system).
+MultilaterationResult fit_from(std::span<const GpsTofTuple> tuples, FitState s, geo::Rect area,
+                               double ue_z, bool fit_offset,
+                               const MultilaterationOptions& opt) {
+  MultilaterationResult out;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    std::array<std::array<double, 3>, 3> jtj{};
+    std::array<double, 3> jtr{};
+    for (const GpsTofTuple& t : tuples) {
+      const geo::Vec3 ue{s.u, ue_z};
+      const double dist = std::max(1e-6, t.uav_position.dist(ue));
+      const double r = dist + s.b - t.range_m;
+      const double w = huber_weight(r, opt.huber_delta_m);
+      const std::array<double, 3> j{(s.u.x - t.uav_position.x) / dist,
+                                    (s.u.y - t.uav_position.y) / dist, 1.0};
+      const int dims = fit_offset ? 3 : 2;
+      for (int a = 0; a < dims; ++a) {
+        for (int c = 0; c < dims; ++c) jtj[a][c] += w * j[a] * j[c];
+        jtr[a] += w * j[a] * r;
+      }
+    }
+
+    double step_norm = 0.0;
+    if (fit_offset) {
+      for (int a = 0; a < 3; ++a) jtj[a][a] += 1e-6;  // Levenberg damping
+      std::array<double, 3> step{};
+      if (!solve_dense<3>(jtj, jtr, step)) break;
+      s.u.x -= step[0];
+      s.u.y -= step[1];
+      s.b -= step[2];
+      step_norm = std::sqrt(step[0] * step[0] + step[1] * step[1] + step[2] * step[2]);
+    } else {
+      std::array<std::array<double, 2>, 2> a2{{{jtj[0][0] + 1e-6, jtj[0][1]},
+                                               {jtj[1][0], jtj[1][1] + 1e-6}}};
+      std::array<double, 2> b2{jtr[0], jtr[1]};
+      std::array<double, 2> step{};
+      if (!solve_dense<2>(a2, b2, step)) break;
+      s.u.x -= step[0];
+      s.u.y -= step[1];
+      step_norm = std::sqrt(step[0] * step[0] + step[1] * step[1]);
+    }
+    s.u = area.clamp(s.u);
+    out.iterations = it + 1;
+    if (step_norm < opt.convergence_m) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.position = s.u;
+  out.offset_m = s.b;
+  out.rms_residual_m = rms_residual(tuples, s, ue_z);
+  return out;
+}
+
+/// Grid of candidate starts over the search area, scored by robust cost.
+std::vector<FitState> grid_starts(std::span<const GpsTofTuple> tuples, geo::Rect area,
+                                  double ue_z, std::optional<double> fixed_b,
+                                  std::size_t keep) {
+  struct Scored {
+    FitState state;
+    double cost;
+  };
+  std::vector<Scored> scored;
+  constexpr int kGrid = 15;
+  scored.reserve(kGrid * kGrid);
+  for (int gy = 0; gy < kGrid; ++gy) {
+    for (int gx = 0; gx < kGrid; ++gx) {
+      FitState s;
+      s.u = {area.min.x + (gx + 0.5) / kGrid * area.width(),
+             area.min.y + (gy + 0.5) / kGrid * area.height()};
+      s.b = fixed_b ? *fixed_b : median_excess(tuples, s.u, ue_z);
+      scored.push_back({s, median_abs_residual(tuples, s, ue_z)});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+  std::vector<FitState> out;
+  for (std::size_t i = 0; i < std::min(keep, scored.size()); ++i)
+    out.push_back(scored[i].state);
+  return out;
+}
+
+MultilaterationResult best_fit(std::span<const GpsTofTuple> tuples, geo::Rect area,
+                               double ue_z, std::optional<double> fixed_b,
+                               const MultilaterationOptions& options) {
+  expects(tuples.size() >= 4, "multilaterate: need at least 4 GPS-ToF tuples");
+  expects(options.restarts >= 1, "multilaterate: need at least one start");
+  const std::vector<FitState> starts =
+      grid_starts(tuples, area, ue_z, fixed_b, static_cast<std::size_t>(options.restarts));
+
+  MultilaterationResult best;
+  bool have_best = false;
+  double best_cost = 0.0;
+  for (const FitState& s : starts) {
+    const MultilaterationResult candidate =
+        fit_from(tuples, s, area, ue_z, !fixed_b.has_value(), options);
+    const double cost = median_abs_residual(
+        tuples, FitState{candidate.position, candidate.offset_m}, ue_z);
+    if (!have_best || cost < best_cost) {
+      best = candidate;
+      best_cost = cost;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MultilaterationResult multilaterate(std::span<const GpsTofTuple> tuples, geo::Rect search_area,
+                                    double ue_altitude_m,
+                                    const MultilaterationOptions& options) {
+  return best_fit(tuples, search_area, ue_altitude_m, std::nullopt, options);
+}
+
+MultilaterationResult multilaterate_fixed_offset(std::span<const GpsTofTuple> tuples,
+                                                 geo::Rect search_area, double ue_altitude_m,
+                                                 double offset_m,
+                                                 const MultilaterationOptions& options) {
+  return best_fit(tuples, search_area, ue_altitude_m, offset_m, options);
+}
+
+JointMultilaterationResult multilaterate_joint(std::span<const GpsTofSeries> per_ue_tuples,
+                                               geo::Rect search_area,
+                                               std::span<const double> ue_altitudes_m,
+                                               const JointOptions& options) {
+  expects(!per_ue_tuples.empty(), "multilaterate_joint: need at least one UE");
+  expects(per_ue_tuples.size() == ue_altitudes_m.size(),
+          "multilaterate_joint: one altitude per UE required");
+  expects(options.coarse_step_m > 0.0 && options.fine_step_m > 0.0,
+          "multilaterate_joint: steps must be positive");
+  expects(options.offset_max_m > options.offset_min_m,
+          "multilaterate_joint: empty offset range");
+
+  // Per (UE, grid candidate): robust statistics of excess = range - distance.
+  // For any shared offset b, the candidate's misfit is approximately
+  // sqrt(spread^2 + (b - median_excess)^2); scanning b over these cached
+  // statistics is O(#UE x #grid) per step instead of a full re-fit.
+  constexpr int kGrid = 17;
+  struct CandStat {
+    double median_excess = 0.0;
+    double mad = 0.0;  // median absolute deviation around the median
+  };
+  std::vector<std::vector<CandStat>> stats(per_ue_tuples.size());
+  std::vector<bool> usable(per_ue_tuples.size(), false);
+  std::size_t n_usable = 0;
+  std::vector<double> scratch;
+  for (std::size_t u = 0; u < per_ue_tuples.size(); ++u) {
+    if (per_ue_tuples[u].size() < 4) continue;
+    usable[u] = true;
+    ++n_usable;
+    stats[u].resize(kGrid * kGrid);
+    for (int gy = 0; gy < kGrid; ++gy) {
+      for (int gx = 0; gx < kGrid; ++gx) {
+        const geo::Vec2 p{search_area.min.x + (gx + 0.5) / kGrid * search_area.width(),
+                          search_area.min.y + (gy + 0.5) / kGrid * search_area.height()};
+        scratch.clear();
+        for (const GpsTofTuple& t : per_ue_tuples[u])
+          scratch.push_back(t.range_m -
+                            t.uav_position.dist(geo::Vec3{p, ue_altitudes_m[u]}));
+        const double med = geo::median(scratch);
+        for (double& v : scratch) v = std::abs(v - med);
+        stats[u][gy * kGrid + gx] = {med, geo::median(scratch)};
+      }
+    }
+  }
+  expects(n_usable > 0, "multilaterate_joint: no UE has enough tuples");
+
+  const auto cost_for_offset = [&](double b) {
+    double total = 0.0;
+    for (std::size_t u = 0; u < per_ue_tuples.size(); ++u) {
+      if (!usable[u]) continue;
+      double best = std::numeric_limits<double>::infinity();
+      for (const CandStat& s : stats[u]) {
+        const double miss = b - s.median_excess;
+        best = std::min(best, std::sqrt(s.mad * s.mad + miss * miss));
+      }
+      total += best;
+    }
+    if (options.offset_prior_sigma_m > 0.0) {
+      const double z = (b - options.offset_prior_m) / options.offset_prior_sigma_m;
+      total += static_cast<double>(n_usable) * 0.5 * z * z;
+    }
+    return total;
+  };
+
+  double best_b = options.offset_min_m;
+  double best_cost = cost_for_offset(best_b);
+  for (double b = options.offset_min_m; b <= options.offset_max_m;
+       b += options.fine_step_m) {
+    const double c = cost_for_offset(b);
+    if (c < best_cost) {
+      best_cost = c;
+      best_b = b;
+    }
+  }
+
+  // Final per-UE fits at the chosen shared offset.
+  JointMultilaterationResult out;
+  out.shared_offset_m = best_b;
+  out.total_cost_m = best_cost;
+  for (std::size_t u = 0; u < per_ue_tuples.size(); ++u) {
+    if (!usable[u]) {
+      out.per_ue.push_back(MultilaterationResult{});
+      continue;
+    }
+    out.per_ue.push_back(multilaterate_fixed_offset(per_ue_tuples[u], search_area,
+                                                    ue_altitudes_m[u], best_b,
+                                                    options.per_ue));
+  }
+  return out;
+}
+
+}  // namespace skyran::localization

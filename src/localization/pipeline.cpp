@@ -1,0 +1,62 @@
+#include "localization/pipeline.hpp"
+
+#include <cmath>
+
+#include "geo/contract.hpp"
+#include "rf/units.hpp"
+
+namespace skyran::localization {
+
+GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::Vec3 ue_position,
+                             const rf::ChannelModel& channel, const LosOracle& los,
+                             const rf::LinkBudget& budget, uav::GpsSensor& gps,
+                             const RangingConfig& config, std::mt19937_64& rng) {
+  expects(flight.size() >= 2, "collect_gps_tof: need at least two flight samples");
+  expects(config.srs_rate_hz >= config.gps_rate_hz,
+          "collect_gps_tof: SRS must report at least as fast as GPS");
+
+  const lte::SrsSymbol tx = lte::make_srs_symbol(config.srs);
+  const lte::TofEstimator estimator(config.srs, config.k_factor);
+  const int srs_per_gps =
+      std::max(1, static_cast<int>(std::round(config.srs_rate_hz / config.gps_rate_hz)));
+
+  GpsTofSeries out;
+  out.reserve(flight.size());
+  for (std::size_t i = 0; i + 1 < flight.size(); ++i) {
+    const uav::FlightSample& a = flight[i];
+    const uav::FlightSample& b = flight[i + 1];
+
+    double tof_distance_sum = 0.0;
+    int tof_count = 0;
+    for (int m = 0; m < srs_per_gps; ++m) {
+      // UAV keeps moving between SRS reports: interpolate the true position.
+      const double frac = static_cast<double>(m) / srs_per_gps;
+      const geo::Vec3 uav_true = a.position + (b.position - a.position) * frac;
+      const double true_range = uav_true.dist(ue_position);
+
+      const double path_loss = channel.path_loss_db(uav_true, ue_position);
+      const double snr_db = budget.snr_db(path_loss);
+      if (snr_db < config.min_snr_db) continue;  // decoder lost the symbol
+
+      lte::SrsChannelParams ch;
+      ch.delay_s = (true_range + config.processing_offset_m) / rf::kSpeedOfLight;
+      ch.snr_db = snr_db;
+      if (!los.line_of_sight(uav_true, ue_position)) {
+        ch.taps = lte::make_nlos_taps(config.nlos_taps, config.nlos_mean_excess_ns * 1e-9,
+                                      config.nlos_first_tap_power_db,
+                                      config.nlos_tap_decay_db, rng);
+      }
+      const lte::SrsSymbol rx = lte::apply_srs_channel(tx, ch, rng);
+      tof_distance_sum += estimator.estimate(rx).distance_m;
+      ++tof_count;
+    }
+    if (tof_count == 0) continue;
+
+    const uav::GpsFix fix = gps.sample(a.position, a.time_s);
+    if (!fix.valid) continue;  // outage: a ToF without a position is useless
+    out.push_back({fix.time_s, fix.position, tof_distance_sum / tof_count});
+  }
+  return out;
+}
+
+}  // namespace skyran::localization

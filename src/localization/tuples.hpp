@@ -1,0 +1,21 @@
+// GPS-ToF tuples: the paper's localization primitive (Sec 3.2.2). Each tuple
+// pairs a (noisy) UAV GPS fix with the mean of the SRS ToF ranges measured
+// between that fix and the next, expressed as a distance that still contains
+// the unknown constant processing offset.
+#pragma once
+
+#include <vector>
+
+#include "geo/vec.hpp"
+
+namespace skyran::localization {
+
+struct GpsTofTuple {
+  double time_s = 0.0;
+  geo::Vec3 uav_position;   ///< GPS-reported UAV position
+  double range_m = 0.0;     ///< ToF distance = true range + offset + noise
+};
+
+using GpsTofSeries = std::vector<GpsTofTuple>;
+
+}  // namespace skyran::localization

@@ -1,0 +1,72 @@
+#include "lte/enodeb.hpp"
+
+#include <algorithm>
+
+#include "geo/contract.hpp"
+
+namespace skyran::lte {
+
+EnodeB::EnodeB(BandwidthConfig carrier, rf::LinkBudget budget, Epc& epc,
+               SchedulerPolicy policy)
+    : carrier_(carrier), budget_(budget), epc_(epc), scheduler_(carrier, policy) {}
+
+RanUeContext* EnodeB::find_ue_mutable(std::uint32_t rnti) {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const RanUeContext& u) { return u.rnti == rnti; });
+  return it == ues_.end() ? nullptr : &*it;
+}
+
+const RanUeContext* EnodeB::find_ue(std::uint32_t rnti) const {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const RanUeContext& u) { return u.rnti == rnti; });
+  return it == ues_.end() ? nullptr : &*it;
+}
+
+std::uint32_t EnodeB::attach_ue(const std::string& imsi) {
+  for (const RanUeContext& u : ues_)
+    if (u.imsi == imsi) return u.rnti;
+  epc_.attach(imsi);
+  RanUeContext ctx;
+  ctx.rnti = next_rnti_++;
+  ctx.imsi = imsi;
+  ctx.srs.carrier = carrier_;
+  // Give each UE its own ZC root so simultaneous SRS stay separable.
+  ctx.srs.zc_root = 1 + (ctx.rnti % 20);
+  ues_.push_back(std::move(ctx));
+  return ues_.back().rnti;
+}
+
+bool EnodeB::detach_ue(std::uint32_t rnti) {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const RanUeContext& u) { return u.rnti == rnti; });
+  if (it == ues_.end()) return false;
+  epc_.detach(it->imsi);
+  ues_.erase(it);
+  return true;
+}
+
+double EnodeB::snr_from_path_loss_db(double path_loss_db) const {
+  return budget_.snr_db(path_loss_db);
+}
+
+void EnodeB::report_snr(std::uint32_t rnti, double snr_db) {
+  RanUeContext* ue = find_ue_mutable(rnti);
+  expects(ue != nullptr, "EnodeB::report_snr: unknown RNTI");
+  ue->last_snr_db = snr_db;
+  ue->last_cqi = snr_to_cqi(snr_db);
+}
+
+std::vector<UeAllocation> EnodeB::serve_tti() {
+  std::vector<UeChannelState> states;
+  states.reserve(ues_.size());
+  for (const RanUeContext& u : ues_) states.push_back({u.rnti, u.last_snr_db, true});
+  return scheduler_.schedule_tti(states);
+}
+
+TofEstimator EnodeB::make_tof_estimator(std::uint32_t rnti, int k_factor) const {
+  const RanUeContext* ue = find_ue(rnti);
+  expects(ue != nullptr, "EnodeB::make_tof_estimator: unknown RNTI");
+  return TofEstimator(ue->srs, k_factor);
+}
+
+}  // namespace skyran::lte

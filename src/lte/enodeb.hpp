@@ -1,0 +1,73 @@
+// The airborne eNodeB: ties together RRC-level UE attachment (backed by the
+// EPC), the SRS/ToF measurement plane and the MAC scheduler. Physically this
+// is the OAI eNodeB + USRP B210 of the paper's payload (Sec 4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lte/amc.hpp"
+#include "lte/epc.hpp"
+#include "lte/ranging.hpp"
+#include "lte/scheduler.hpp"
+#include "lte/srs.hpp"
+#include "rf/link.hpp"
+
+namespace skyran::lte {
+
+/// RRC-level record of a connected UE at the eNodeB.
+struct RanUeContext {
+  std::uint32_t rnti = 0;
+  std::string imsi;
+  SrsConfig srs;           ///< per-UE SRS configuration (distinct ZC root)
+  double last_snr_db = 0.0;
+  int last_cqi = 0;
+};
+
+class EnodeB {
+ public:
+  /// `budget` defines the uplink link budget used to convert path loss to
+  /// SNR reports.
+  EnodeB(BandwidthConfig carrier, rf::LinkBudget budget, Epc& epc,
+         SchedulerPolicy policy = SchedulerPolicy::kRoundRobin);
+
+  /// RRC connection + NAS attach via the EPC. Returns the assigned RNTI;
+  /// re-attaching an already-connected IMSI returns its existing RNTI.
+  std::uint32_t attach_ue(const std::string& imsi);
+
+  /// Releases the RRC connection and detaches from the EPC.
+  bool detach_ue(std::uint32_t rnti);
+
+  const std::vector<RanUeContext>& ues() const { return ues_; }
+  const RanUeContext* find_ue(std::uint32_t rnti) const;
+
+  /// Uplink SNR (dB) implied by a path loss through this eNodeB's budget.
+  double snr_from_path_loss_db(double path_loss_db) const;
+
+  /// Record a PHY SNR report for a UE (100 Hz during flights, Sec 3.3.3);
+  /// updates the stored CQI.
+  void report_snr(std::uint32_t rnti, double snr_db);
+
+  /// Serve one TTI of full-buffer traffic using the last reported SNRs.
+  std::vector<UeAllocation> serve_tti();
+
+  /// The per-UE ToF estimator for SRS ranging.
+  TofEstimator make_tof_estimator(std::uint32_t rnti, int k_factor = 4) const;
+
+  const BandwidthConfig& carrier() const { return carrier_; }
+  const rf::LinkBudget& link_budget() const { return budget_; }
+
+ private:
+  RanUeContext* find_ue_mutable(std::uint32_t rnti);
+
+  BandwidthConfig carrier_;
+  rf::LinkBudget budget_;
+  Epc& epc_;
+  Scheduler scheduler_;
+  std::vector<RanUeContext> ues_;
+  std::uint32_t next_rnti_ = 61;  // C-RNTI range starts past reserved values
+};
+
+}  // namespace skyran::lte

@@ -1,0 +1,66 @@
+#include "lte/epc.hpp"
+
+#include <algorithm>
+
+#include "geo/contract.hpp"
+
+namespace skyran::lte {
+
+EpcUeContext* Epc::find_mutable(const std::string& imsi) {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const EpcUeContext& c) { return c.imsi == imsi; });
+  return it == ues_.end() ? nullptr : &*it;
+}
+
+const EpcUeContext& Epc::attach(const std::string& imsi) {
+  expects(!imsi.empty(), "Epc::attach: IMSI must not be empty");
+  if (EpcUeContext* existing = find_mutable(imsi)) {
+    if (existing->state == UeEmmState::kDeregistered) {
+      existing->state = UeEmmState::kRegistered;
+      existing->bearers = {EpsBearer{}};
+    }
+    return *existing;
+  }
+  EpcUeContext ctx;
+  ctx.imsi = imsi;
+  ctx.ue_id = next_ue_id_++;
+  ctx.state = UeEmmState::kRegistered;
+  ctx.bearers = {EpsBearer{}};
+  ues_.push_back(std::move(ctx));
+  return ues_.back();
+}
+
+bool Epc::detach(const std::string& imsi) {
+  EpcUeContext* ctx = find_mutable(imsi);
+  if (ctx == nullptr || ctx->state == UeEmmState::kDeregistered) return false;
+  ctx->state = UeEmmState::kDeregistered;
+  ctx->bearers.clear();
+  return true;
+}
+
+int Epc::add_dedicated_bearer(const std::string& imsi, int qci) {
+  EpcUeContext* ctx = find_mutable(imsi);
+  expects(ctx != nullptr && ctx->state == UeEmmState::kRegistered,
+          "Epc::add_dedicated_bearer: UE must be registered");
+  int next_id = 5;
+  for (const EpsBearer& b : ctx->bearers) next_id = std::max(next_id, b.bearer_id);
+  ++next_id;
+  ctx->bearers.push_back({next_id, qci});
+  return next_id;
+}
+
+std::optional<EpcUeContext> Epc::find(const std::string& imsi) const {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const EpcUeContext& c) { return c.imsi == imsi; });
+  if (it == ues_.end()) return std::nullopt;
+  return *it;
+}
+
+std::size_t Epc::registered_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(ues_.begin(), ues_.end(), [](const EpcUeContext& c) {
+        return c.state == UeEmmState::kRegistered;
+      }));
+}
+
+}  // namespace skyran::lte

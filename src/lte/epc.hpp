@@ -1,0 +1,58 @@
+// Minimal Evolved Packet Core. The real SkyRAN flies an OpenAirInterface EPC
+// on a second SBC (Sec 4.1); functionally the RAN needs UE identity
+// management, an attach/detach state machine and default-bearer bookkeeping,
+// which is what this module provides (in the spirit of SkyCore's
+// single-entity, on-UAV EPC).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace skyran::lte {
+
+enum class UeEmmState {
+  kDeregistered,
+  kRegistered,
+};
+
+struct EpsBearer {
+  int bearer_id = 5;  ///< default bearer; dedicated bearers count up from 6
+  int qci = 9;        ///< best-effort default
+};
+
+struct EpcUeContext {
+  std::string imsi;
+  std::uint64_t ue_id = 0;  ///< EPC-local identifier (stands in for GUTI)
+  UeEmmState state = UeEmmState::kDeregistered;
+  std::vector<EpsBearer> bearers;
+};
+
+/// Lightweight co-located EPC (MME + SGW/PGW folded together).
+class Epc {
+ public:
+  /// NAS attach: registers the IMSI (idempotent) and sets up the default
+  /// bearer. Returns the UE context.
+  const EpcUeContext& attach(const std::string& imsi);
+
+  /// NAS detach: tears down bearers. Returns false if the IMSI is unknown
+  /// or already deregistered.
+  bool detach(const std::string& imsi);
+
+  /// Adds a dedicated bearer with the given QCI; returns its id.
+  /// Throws ContractViolation when the UE is not registered.
+  int add_dedicated_bearer(const std::string& imsi, int qci);
+
+  std::optional<EpcUeContext> find(const std::string& imsi) const;
+  std::size_t registered_count() const;
+  const std::vector<EpcUeContext>& contexts() const { return ues_; }
+
+ private:
+  EpcUeContext* find_mutable(const std::string& imsi);
+
+  std::vector<EpcUeContext> ues_;
+  std::uint64_t next_ue_id_ = 1;
+};
+
+}  // namespace skyran::lte

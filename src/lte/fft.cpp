@@ -1,0 +1,128 @@
+#include "lte/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/contract.hpp"
+
+namespace skyran::lte {
+
+namespace {
+
+/// Radix-2 iterative Cooley-Tukey; `invert` flips the transform direction.
+/// Caller guarantees a power-of-two size.
+void fft_radix2(CplxVec& a, bool invert) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (invert ? 1.0 : -1.0);
+    const Cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Cplx u = a[i + j];
+        const Cplx v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-size DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+void fft_bluestein(CplxVec& a, bool invert) {
+  const std::size_t n = a.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+  const double sign = invert ? 1.0 : -1.0;
+
+  // Chirp c_k = exp(sign * i * pi * k^2 / n).
+  CplxVec chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for big k.
+    const double phase =
+        std::numbers::pi * static_cast<double>((k * k) % (2 * n)) / static_cast<double>(n);
+    chirp[k] = Cplx(std::cos(phase), sign * std::sin(phase));
+  }
+
+  CplxVec x(m, Cplx{});
+  CplxVec y(m, Cplx{});
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) y[k] = y[m - k] = std::conj(chirp[k]);
+
+  fft_radix2(x, false);
+  fft_radix2(y, false);
+  for (std::size_t k = 0; k < m; ++k) x[k] *= y[k];
+  fft_radix2(x, true);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * scale * chirp[k];
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(CplxVec& data) {
+  expects(!data.empty(), "fft: empty input");
+  if (is_power_of_two(data.size()))
+    fft_radix2(data, false);
+  else
+    fft_bluestein(data, false);
+}
+
+void ifft_inplace(CplxVec& data) {
+  expects(!data.empty(), "ifft: empty input");
+  if (is_power_of_two(data.size()))
+    fft_radix2(data, true);
+  else
+    fft_bluestein(data, true);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (Cplx& v : data) v *= scale;
+}
+
+CplxVec fft(CplxVec data) {
+  fft_inplace(data);
+  return data;
+}
+
+CplxVec ifft(CplxVec data) {
+  ifft_inplace(data);
+  return data;
+}
+
+CplxVec multiply_conjugate(const CplxVec& a, const CplxVec& b) {
+  expects(a.size() == b.size(), "multiply_conjugate: size mismatch");
+  CplxVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * std::conj(b[i]);
+  return out;
+}
+
+std::size_t max_abs_index(const CplxVec& v) {
+  expects(!v.empty(), "max_abs_index: empty input");
+  std::size_t best = 0;
+  double best_mag = std::norm(v[0]);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double mag = std::norm(v[i]);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace skyran::lte

@@ -1,0 +1,38 @@
+// FFT engine for the SRS correlation pipeline (paper Sec 3.2.2, eq. 1-3).
+// Radix-2 iterative Cooley-Tukey for power-of-two sizes, with a Bluestein
+// chirp-z fallback so non-power-of-two LTE FFT sizes (e.g. 1536 for 15 MHz)
+// are also supported.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace skyran::lte {
+
+using Cplx = std::complex<double>;
+using CplxVec = std::vector<Cplx>;
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT. Any size >= 1 (Bluestein used when not a power of
+/// two). No normalization.
+void fft_inplace(CplxVec& data);
+
+/// In-place inverse FFT, normalized by 1/N.
+void ifft_inplace(CplxVec& data);
+
+/// Out-of-place conveniences.
+CplxVec fft(CplxVec data);
+CplxVec ifft(CplxVec data);
+
+/// Element-wise a[i] * conj(b[i]); sizes must match.
+CplxVec multiply_conjugate(const CplxVec& a, const CplxVec& b);
+
+/// Index of the element with the largest magnitude.
+std::size_t max_abs_index(const CplxVec& v);
+
+}  // namespace skyran::lte

@@ -1,0 +1,84 @@
+#include "lte/rach.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "geo/contract.hpp"
+
+namespace skyran::lte {
+
+RachReport simulate_attach_storm(int n_ues, const RachConfig& config, std::mt19937_64& rng,
+                                 const std::vector<double>& miss_probability) {
+  expects(n_ues >= 1, "simulate_attach_storm: need at least one UE");
+  expects(config.n_preambles >= 1, "simulate_attach_storm: need preambles");
+  expects(config.max_attempts >= 1, "simulate_attach_storm: need attempts");
+  expects(miss_probability.empty() ||
+              miss_probability.size() == static_cast<std::size_t>(n_ues),
+          "simulate_attach_storm: one miss probability per UE (or none)");
+
+  struct UeState {
+    bool attached = false;
+    int attempts = 0;
+    double next_try_ms = 0.0;  ///< earliest PRACH occasion the UE may use
+  };
+  std::vector<UeState> ues(static_cast<std::size_t>(n_ues));
+
+  std::uniform_int_distribution<int> preamble(0, config.n_preambles - 1);
+  std::uniform_real_distribution<double> backoff(0.0, config.backoff_max_ms);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  RachReport report;
+  report.per_ue.resize(static_cast<std::size_t>(n_ues));
+
+  // Walk PRACH occasions until everyone is attached or out of attempts.
+  const double horizon_ms =
+      config.prach_period_ms * config.max_attempts * 20.0 + config.backoff_max_ms;
+  for (double now = 0.0; now <= horizon_ms; now += config.prach_period_ms) {
+    // Which UEs transmit this occasion, and on which preamble?
+    std::map<int, std::vector<std::size_t>> chosen;
+    for (std::size_t i = 0; i < ues.size(); ++i) {
+      UeState& ue = ues[i];
+      if (ue.attached || ue.attempts >= config.max_attempts || ue.next_try_ms > now)
+        continue;
+      ++ue.attempts;
+      chosen[preamble(rng)].push_back(i);
+    }
+    if (chosen.empty()) {
+      bool anyone_waiting = false;
+      for (const UeState& ue : ues)
+        anyone_waiting |= !ue.attached && ue.attempts < config.max_attempts;
+      if (!anyone_waiting) break;
+      continue;
+    }
+    for (const auto& [p, contenders] : chosen) {
+      if (contenders.size() > 1) {
+        // Collision: everyone backs off.
+        for (const std::size_t i : contenders)
+          ues[i].next_try_ms = now + config.prach_period_ms + backoff(rng);
+        continue;
+      }
+      const std::size_t i = contenders.front();
+      const double miss =
+          miss_probability.empty() ? config.base_miss_probability : miss_probability[i];
+      if (u01(rng) < miss) {
+        ues[i].next_try_ms = now + config.prach_period_ms + backoff(rng);
+        continue;
+      }
+      ues[i].attached = true;
+      report.per_ue[i].attached = true;
+      report.per_ue[i].attach_time_ms = now + config.prach_period_ms;  // msg2-4 round
+      report.last_attach_ms = std::max(report.last_attach_ms, report.per_ue[i].attach_time_ms);
+    }
+  }
+
+  double attempts_sum = 0.0;
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    report.per_ue[i].attempts = ues[i].attempts;
+    attempts_sum += ues[i].attempts;
+    if (!ues[i].attached) ++report.failed;
+  }
+  report.mean_attempts = attempts_sum / static_cast<double>(n_ues);
+  return report;
+}
+
+}  // namespace skyran::lte

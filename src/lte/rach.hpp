@@ -1,0 +1,44 @@
+// Random-access (RACH) contention model. When a SkyRAN UAV arrives on
+// station, every UE in the area tries to attach at once - an attach storm.
+// This module simulates the slotted PRACH contention (preamble choice,
+// collision, backoff) so deployments can size the attach transient, i.e.
+// how long after placement the cell is actually serving everyone.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace skyran::lte {
+
+struct RachConfig {
+  int n_preambles = 54;        ///< contention preambles per PRACH occasion
+  double prach_period_ms = 5.0;  ///< PRACH occasion spacing
+  int max_attempts = 10;       ///< before the UE declares failure
+  double backoff_max_ms = 20.0;  ///< uniform backoff window after collision
+  /// Probability that a (collision-free) preamble is missed for RF reasons;
+  /// feed per-UE values derived from SNR for realism.
+  double base_miss_probability = 0.02;
+};
+
+struct RachUeOutcome {
+  bool attached = false;
+  int attempts = 0;
+  double attach_time_ms = 0.0;  ///< time of successful msg4 (or last failure)
+};
+
+struct RachReport {
+  std::vector<RachUeOutcome> per_ue;
+  double last_attach_ms = 0.0;  ///< when the final successful UE got in
+  int failed = 0;
+  double mean_attempts = 0.0;
+};
+
+/// Simulate an attach storm of `n_ues` UEs all wanting in at t = 0.
+/// `miss_probability` may be empty (use the base value) or hold one value
+/// per UE (e.g. SNR-derived msg1 miss rates).
+RachReport simulate_attach_storm(int n_ues, const RachConfig& config,
+                                 std::mt19937_64& rng,
+                                 const std::vector<double>& miss_probability = {});
+
+}  // namespace skyran::lte

@@ -1,0 +1,94 @@
+#include "lte/ranging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/contract.hpp"
+#include "rf/units.hpp"
+
+namespace skyran::lte {
+
+TofEstimator::TofEstimator(SrsConfig config, int k_factor, double max_delay_samples,
+                           double leading_edge_fraction, bool refine_peak)
+    : config_(config),
+      reference_(make_srs_symbol(config)),
+      k_factor_(k_factor),
+      leading_edge_fraction_(leading_edge_fraction),
+      refine_peak_(refine_peak) {
+  expects(k_factor >= 1, "TofEstimator: K must be >= 1");
+  expects(leading_edge_fraction >= 0.0 && leading_edge_fraction <= 1.0,
+          "TofEstimator: leading-edge fraction must be in [0,1]");
+  const double alias_period =
+      static_cast<double>(config.carrier.fft_size) / config.comb;
+  if (max_delay_samples <= 0.0) max_delay_samples = alias_period / 2.0;
+  expects(max_delay_samples <= alias_period,
+          "TofEstimator: search window exceeds the comb alias period");
+  max_delay_samples_ = max_delay_samples;
+}
+
+TofEstimate TofEstimator::estimate(const SrsSymbol& received) const {
+  expects(received.freq.size() == config_.carrier.fft_size,
+          "TofEstimator::estimate: FFT size mismatch");
+  // y = ifft(upsample(s . h*))  (paper eq. 1-2)
+  CplxVec prod = multiply_conjugate(received.freq, reference_.freq);
+  CplxVec up = upsample_zero_pad(prod, k_factor_);
+  ifft_inplace(up);
+
+  // Peak search restricted to the physically plausible delay window
+  // (paper eq. 3 with a window; the comb aliases the response beyond it).
+  const auto window =
+      static_cast<std::size_t>(max_delay_samples_ * k_factor_);
+  expects(window >= 1 && window <= up.size(), "TofEstimator: empty search window");
+  std::size_t best = 0;
+  double best_mag = std::norm(up[0]);
+  double total_mag = 0.0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const double m = std::norm(up[i]);
+    total_mag += m;
+    if (m > best_mag) {
+      best_mag = m;
+      best = i;
+    }
+  }
+
+  // First-arrival detection: step back from the global peak to the earliest
+  // local maximum still carrying a significant fraction of the peak power.
+  if (leading_edge_fraction_ > 0.0) {
+    const double floor_mag =
+        best_mag * leading_edge_fraction_ * leading_edge_fraction_;  // power domain
+    for (std::size_t i = 0; i < best; ++i) {
+      const double m = std::norm(up[i]);
+      const bool local_max = m >= (i > 0 ? std::norm(up[i - 1]) : 0.0) &&
+                             (i + 1 < window ? m >= std::norm(up[i + 1]) : true);
+      if (local_max && m >= floor_mag) {
+        best = i;
+        best_mag = m;
+        break;
+      }
+    }
+  }
+
+  // Parabolic interpolation over the log-magnitudes of the peak's neighbors
+  // refines the delay below the upsampled bin width (standard correlator
+  // practice; the bins are K-fold finer than a sample to begin with).
+  double frac = 0.0;
+  if (refine_peak_ && best > 0 && best + 1 < window) {
+    const double m0 = std::sqrt(std::norm(up[best - 1]));
+    const double m1 = std::sqrt(std::norm(up[best]));
+    const double m2 = std::sqrt(std::norm(up[best + 1]));
+    const double denom = m0 - 2.0 * m1 + m2;
+    if (std::abs(denom) > 1e-12) frac = std::clamp(0.5 * (m0 - m2) / denom, -0.5, 0.5);
+  }
+
+  TofEstimate out;
+  out.delay_samples = (static_cast<double>(best) + frac) / k_factor_;
+  out.delay_s = out.delay_samples / config_.carrier.sample_rate_hz;
+  out.distance_m = out.delay_s * rf::kSpeedOfLight;
+  const double mean_off_peak =
+      (total_mag - best_mag) / static_cast<double>(window > 1 ? window - 1 : 1);
+  out.peak_to_side_db =
+      mean_off_peak > 0.0 ? rf::linear_to_db(best_mag / mean_off_peak) : 0.0;
+  return out;
+}
+
+}  // namespace skyran::lte

@@ -1,0 +1,50 @@
+// Time-of-flight estimation from SRS symbols (paper Sec 3.2.2, eq. 1-3):
+// cross-correlate the received against the known symbol via an IFFT, after
+// K-fold zero-pad upsampling for sub-sample delay resolution; the magnitude
+// peak position is the delay estimate.
+#pragma once
+
+#include "lte/srs.hpp"
+
+namespace skyran::lte {
+
+struct TofEstimate {
+  double delay_samples = 0.0;  ///< in base (non-upsampled) sample units
+  double delay_s = 0.0;
+  double distance_m = 0.0;     ///< delay * c
+  double peak_to_side_db = 0.0;  ///< peak power over mean off-peak power
+};
+
+class TofEstimator {
+ public:
+  /// `k_factor`: upsampling factor K (paper uses 4).
+  /// `max_delay_samples`: correlation peaks are searched in
+  /// [0, max_delay_samples) base samples; defaults to fft_size/(4*comb) to
+  /// stay clear of the comb's time-domain alias.
+  /// `leading_edge_fraction`: when > 0, the estimator returns the earliest
+  /// local peak whose magnitude reaches this fraction of the global peak
+  /// (first-arrival detection, which suppresses the positive bias multipath
+  /// echoes impose on a max-peak search). 0 disables it (pure eq. 3).
+  /// `refine_peak`: parabolic sub-bin interpolation around the chosen peak;
+  /// disable to get the paper's raw 1/K-sample quantization.
+  explicit TofEstimator(SrsConfig config, int k_factor = 4, double max_delay_samples = 0.0,
+                        double leading_edge_fraction = 0.6, bool refine_peak = true);
+
+  /// Estimate the delay of `received` relative to the known transmitted
+  /// symbol for this config.
+  TofEstimate estimate(const SrsSymbol& received) const;
+
+  const SrsConfig& config() const { return config_; }
+  int k_factor() const { return k_factor_; }
+  double max_delay_samples() const { return max_delay_samples_; }
+
+ private:
+  SrsConfig config_;
+  SrsSymbol reference_;
+  int k_factor_;
+  double max_delay_samples_;
+  double leading_edge_fraction_;
+  bool refine_peak_;
+};
+
+}  // namespace skyran::lte

@@ -1,0 +1,24 @@
+#include "lte/sampling.hpp"
+
+#include <cmath>
+
+#include "geo/contract.hpp"
+#include "rf/units.hpp"
+
+namespace skyran::lte {
+
+double BandwidthConfig::meters_per_sample() const {
+  return rf::kSpeedOfLight / sample_rate_hz;
+}
+
+BandwidthConfig bandwidth_config(double bandwidth_mhz) {
+  if (std::abs(bandwidth_mhz - 1.4) < 1e-9) return {1.4e6, 6, 128, 1.92e6};
+  if (std::abs(bandwidth_mhz - 3.0) < 1e-9) return {3e6, 15, 256, 3.84e6};
+  if (std::abs(bandwidth_mhz - 5.0) < 1e-9) return {5e6, 25, 512, 7.68e6};
+  if (std::abs(bandwidth_mhz - 10.0) < 1e-9) return {10e6, 50, 1024, 15.36e6};
+  if (std::abs(bandwidth_mhz - 15.0) < 1e-9) return {15e6, 75, 1536, 23.04e6};
+  if (std::abs(bandwidth_mhz - 20.0) < 1e-9) return {20e6, 100, 2048, 30.72e6};
+  throw ContractViolation("bandwidth_config: unsupported LTE bandwidth");
+}
+
+}  // namespace skyran::lte

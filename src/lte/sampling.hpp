@@ -1,0 +1,31 @@
+// Standard LTE bandwidth configurations (36.101 Table 5.6-1): channel
+// bandwidth -> resource blocks, FFT size and sample rate. SkyRAN runs a
+// 10 MHz carrier (Sec 4.3): 50 PRB, N = 1024, fs = 15.36 MHz, so one
+// time-domain sample spans 19.52 m of propagation.
+#pragma once
+
+#include <cstddef>
+
+namespace skyran::lte {
+
+/// Subcarrier spacing, Hz.
+inline constexpr double kSubcarrierSpacingHz = 15e3;
+
+struct BandwidthConfig {
+  double bandwidth_hz = 10e6;
+  int n_prb = 50;           ///< resource blocks (12 subcarriers each)
+  std::size_t fft_size = 1024;
+  double sample_rate_hz = 15.36e6;
+
+  int n_subcarriers() const { return n_prb * 12; }
+  /// Propagation distance covered by one time-domain sample, meters.
+  double meters_per_sample() const;
+  /// Occupied (useful) bandwidth, Hz.
+  double occupied_bandwidth_hz() const { return n_subcarriers() * kSubcarrierSpacingHz; }
+};
+
+/// Lookup by channel bandwidth in MHz: one of {1.4, 3, 5, 10, 15, 20}.
+/// Throws ContractViolation for unsupported widths.
+BandwidthConfig bandwidth_config(double bandwidth_mhz);
+
+}  // namespace skyran::lte

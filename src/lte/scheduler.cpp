@@ -1,0 +1,98 @@
+#include "lte/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/contract.hpp"
+
+namespace skyran::lte {
+
+namespace {
+constexpr double kTtiSeconds = 1e-3;
+constexpr double kPrbBandwidthHz = 180e3;
+constexpr double kEwmaAlpha = 0.01;  // ~100 ms horizon
+
+double prb_bits(double snr_db, int prb) {
+  const double eff = cqi_efficiency(snr_to_cqi(snr_db));
+  return eff * kPrbBandwidthHz * kTtiSeconds * prb * (1.0 - kL1OverheadFraction);
+}
+}  // namespace
+
+Scheduler::Scheduler(BandwidthConfig carrier, SchedulerPolicy policy)
+    : carrier_(carrier), policy_(policy) {}
+
+Scheduler::RateState& Scheduler::state_for(std::uint32_t rnti) {
+  for (RateState& s : rates_)
+    if (s.rnti == rnti) return s;
+  rates_.push_back({rnti, 1.0});
+  return rates_.back();
+}
+
+double Scheduler::average_rate_bps(std::uint32_t rnti) const {
+  for (const RateState& s : rates_)
+    if (s.rnti == rnti) return s.ewma_bps;
+  return 0.0;
+}
+
+std::vector<UeAllocation> Scheduler::schedule_tti(const std::vector<UeChannelState>& ues) {
+  std::vector<UeAllocation> out;
+  out.reserve(ues.size());
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    out.push_back({ues[i].rnti, 0, 0.0});
+    if (ues[i].backlogged && snr_to_cqi(ues[i].snr_db) > 0) eligible.push_back(i);
+  }
+  if (!eligible.empty()) {
+    const int total_prb = carrier_.n_prb;
+    std::vector<int> share(eligible.size(), 0);
+
+    if (policy_ == SchedulerPolicy::kRoundRobin) {
+      // Equal split; the rotating cursor spreads the remainder fairly
+      // across TTIs.
+      const int base = total_prb / static_cast<int>(eligible.size());
+      int leftover = total_prb % static_cast<int>(eligible.size());
+      for (std::size_t j = 0; j < eligible.size(); ++j) share[j] = base;
+      for (int j = 0; leftover > 0; ++j, --leftover)
+        ++share[(rr_cursor_ + static_cast<std::size_t>(j)) % eligible.size()];
+      ++rr_cursor_;
+    } else {
+      // Proportional fair: PRBs proportional to instantaneous-rate /
+      // average-rate metric.
+      std::vector<double> metric(eligible.size());
+      double metric_sum = 0.0;
+      for (std::size_t j = 0; j < eligible.size(); ++j) {
+        const UeChannelState& ue = ues[eligible[j]];
+        const double inst = prb_bits(ue.snr_db, 1);
+        metric[j] = inst / std::max(1.0, state_for(ue.rnti).ewma_bps);
+        metric_sum += metric[j];
+      }
+      int assigned = 0;
+      for (std::size_t j = 0; j < eligible.size(); ++j) {
+        share[j] = static_cast<int>(std::floor(total_prb * metric[j] / metric_sum));
+        assigned += share[j];
+      }
+      // Remaining PRBs to the highest metrics.
+      std::vector<std::size_t> order(eligible.size());
+      for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return metric[a] > metric[b]; });
+      for (std::size_t j = 0; assigned < total_prb; ++j, ++assigned)
+        ++share[order[j % order.size()]];
+    }
+
+    for (std::size_t j = 0; j < eligible.size(); ++j) {
+      UeAllocation& alloc = out[eligible[j]];
+      alloc.prb = share[j];
+      alloc.bits = prb_bits(ues[eligible[j]].snr_db, share[j]);
+    }
+  }
+
+  // Update long-term rates for every UE seen this TTI.
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    RateState& s = state_for(ues[i].rnti);
+    s.ewma_bps = (1.0 - kEwmaAlpha) * s.ewma_bps + kEwmaAlpha * (out[i].bits / kTtiSeconds);
+  }
+  return out;
+}
+
+}  // namespace skyran::lte

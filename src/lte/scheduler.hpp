@@ -1,0 +1,62 @@
+// Downlink MAC scheduler: allocates PRBs across attached UEs per TTI (1 ms).
+// Round-robin and proportional-fair policies are provided; the simulator uses
+// it to turn per-UE SNRs into served throughput when the RAN is actually
+// carrying traffic (examples and the service phase of an epoch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lte/amc.hpp"
+#include "lte/sampling.hpp"
+
+namespace skyran::lte {
+
+enum class SchedulerPolicy {
+  kRoundRobin,        ///< equal PRB share regardless of channel
+  kProportionalFair,  ///< weight by instantaneous rate / long-term average
+};
+
+/// Input per UE for one TTI.
+struct UeChannelState {
+  std::uint32_t rnti = 0;
+  double snr_db = 0.0;
+  bool backlogged = true;  ///< full-buffer traffic when true
+};
+
+/// Output per UE for one TTI.
+struct UeAllocation {
+  std::uint32_t rnti = 0;
+  int prb = 0;
+  double bits = 0.0;  ///< MAC bits served this TTI
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(BandwidthConfig carrier,
+                     SchedulerPolicy policy = SchedulerPolicy::kRoundRobin);
+
+  /// Schedule one 1 ms TTI. PRBs are integer-allocated; leftover PRBs go to
+  /// the UEs with the best channels.
+  std::vector<UeAllocation> schedule_tti(const std::vector<UeChannelState>& ues);
+
+  /// Long-term served rate tracked per UE (for proportional fair), bit/s.
+  double average_rate_bps(std::uint32_t rnti) const;
+
+  SchedulerPolicy policy() const { return policy_; }
+  const BandwidthConfig& carrier() const { return carrier_; }
+
+ private:
+  struct RateState {
+    std::uint32_t rnti = 0;
+    double ewma_bps = 1.0;  // avoid divide-by-zero in PF metric
+  };
+  RateState& state_for(std::uint32_t rnti);
+
+  BandwidthConfig carrier_;
+  SchedulerPolicy policy_;
+  std::vector<RateState> rates_;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace skyran::lte

@@ -1,0 +1,58 @@
+#include "lte/srs.hpp"
+
+#include "geo/contract.hpp"
+#include "lte/zadoff_chu.hpp"
+
+namespace skyran::lte {
+
+std::vector<int> occupied_subcarriers(const SrsConfig& config) {
+  expects(config.comb >= 1, "SrsConfig: comb must be >= 1");
+  expects(config.comb_offset >= 0 && config.comb_offset < config.comb,
+          "SrsConfig: comb offset must be in [0, comb)");
+  expects(config.sounding_prb >= 1 && config.sounding_prb <= config.carrier.n_prb,
+          "SrsConfig: sounding bandwidth must fit the carrier");
+  const int total = config.sounding_prb * 12;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(total / config.comb));
+  // Subcarriers straddle DC symmetrically; DC itself is never transmitted.
+  for (int i = config.comb_offset; i < total; i += config.comb) {
+    int sc = i - total / 2;
+    if (sc >= 0) ++sc;  // skip DC
+    out.push_back(sc);
+  }
+  return out;
+}
+
+std::size_t fft_bin(int signed_subcarrier, std::size_t fft_size) {
+  expects(signed_subcarrier != 0, "fft_bin: DC is not a valid SRS subcarrier");
+  const int n = static_cast<int>(fft_size);
+  expects(signed_subcarrier > -n / 2 && signed_subcarrier < n / 2,
+          "fft_bin: subcarrier outside FFT range");
+  return static_cast<std::size_t>((signed_subcarrier + n) % n);
+}
+
+SrsSymbol make_srs_symbol(const SrsConfig& config) {
+  const std::vector<int> res = occupied_subcarriers(config);
+  const CplxVec base = base_sequence(config.zc_root, static_cast<std::uint32_t>(res.size()));
+  SrsSymbol sym;
+  sym.config = config;
+  sym.freq.assign(config.carrier.fft_size, Cplx{});
+  for (std::size_t i = 0; i < res.size(); ++i)
+    sym.freq[fft_bin(res[i], config.carrier.fft_size)] = base[i];
+  return sym;
+}
+
+CplxVec upsample_zero_pad(const CplxVec& freq, int k_factor) {
+  expects(k_factor >= 1, "upsample_zero_pad: K must be >= 1");
+  expects(freq.size() % 2 == 0, "upsample_zero_pad: FFT size must be even");
+  const std::size_t n = freq.size();
+  const std::size_t half = n / 2;
+  CplxVec out(n * static_cast<std::size_t>(k_factor), Cplx{});
+  // Positive-frequency half (including DC) stays at the front; the
+  // negative-frequency half moves to the tail; zeros fill the middle.
+  for (std::size_t i = 0; i < half; ++i) out[i] = freq[i];
+  for (std::size_t i = half; i < n; ++i) out[out.size() - n + i] = freq[i];
+  return out;
+}
+
+}  // namespace skyran::lte

@@ -1,0 +1,52 @@
+// Uplink Sounding Reference Signal (SRS) symbols. The UE transmits a known
+// Zadoff-Chu-based symbol on a comb of subcarriers; the eNodeB receives the
+// frequency-domain symbol once every 10 ms and uses it both for channel
+// sounding and - in SkyRAN - for time-of-flight ranging (Sec 3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "lte/fft.hpp"
+#include "lte/sampling.hpp"
+
+namespace skyran::lte {
+
+struct SrsConfig {
+  BandwidthConfig carrier = bandwidth_config(10.0);
+  /// PRBs sounded by the SRS (B_SRS); must fit into the carrier.
+  int sounding_prb = 48;
+  /// Transmission comb: SRS occupies every `comb`-th subcarrier.
+  int comb = 2;
+  /// Offset of the comb within [0, comb).
+  int comb_offset = 0;
+  /// Zadoff-Chu root used for the base sequence (per-UE).
+  std::uint32_t zc_root = 1;
+
+  /// Number of resource elements the SRS actually occupies.
+  int occupied_res() const { return sounding_prb * 12 / comb; }
+};
+
+/// A frequency-domain SRS symbol laid out in FFT order (DC at index 0,
+/// negative frequencies in the upper half).
+struct SrsSymbol {
+  SrsConfig config;
+  CplxVec freq;  ///< size config.carrier.fft_size
+};
+
+/// Build the known transmitted SRS symbol for `config`. Occupied REs carry
+/// unit-magnitude ZC values; all other bins are zero.
+SrsSymbol make_srs_symbol(const SrsConfig& config);
+
+/// Signed subcarrier index (…,-2,-1,1,2,…; DC excluded) of each occupied RE,
+/// in the same order the RE values appear when scanning FFT-order bins from
+/// the most negative frequency upward.
+std::vector<int> occupied_subcarriers(const SrsConfig& config);
+
+/// FFT-order bin for a signed subcarrier index.
+std::size_t fft_bin(int signed_subcarrier, std::size_t fft_size);
+
+/// Zero-pad `freq` (FFT order, size N) in the middle to size K*N, implementing
+/// the paper's eq. (2) upsampling: time-domain resolution improves K-fold.
+CplxVec upsample_zero_pad(const CplxVec& freq, int k_factor);
+
+}  // namespace skyran::lte

@@ -1,0 +1,51 @@
+#include "lte/srs_channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/contract.hpp"
+#include "rf/units.hpp"
+
+namespace skyran::lte {
+
+SrsSymbol apply_srs_channel(const SrsSymbol& tx, const SrsChannelParams& params,
+                            std::mt19937_64& rng) {
+  expects(params.delay_s >= 0.0, "apply_srs_channel: delay must be non-negative");
+  SrsSymbol rx = tx;
+  const std::vector<int> res = occupied_subcarriers(tx.config);
+
+  // Channel response per occupied subcarrier: direct ray plus echoes.
+  for (int sc : res) {
+    const double f = sc * kSubcarrierSpacingHz;
+    Cplx h = std::polar(1.0, -2.0 * std::numbers::pi * f * params.delay_s);
+    for (const MultipathTap& tap : params.taps) {
+      const double amp = std::sqrt(rf::db_to_linear(tap.power_db));
+      h += std::polar(amp,
+                      -2.0 * std::numbers::pi * f * (params.delay_s + tap.excess_delay_s));
+    }
+    const std::size_t bin = fft_bin(sc, tx.config.carrier.fft_size);
+    rx.freq[bin] *= h;
+  }
+
+  // Receiver noise across the whole band. Unit-magnitude REs at `snr_db`
+  // imply per-complex-dimension sigma of sqrt(1 / (2 * snr_lin)).
+  const double sigma = std::sqrt(0.5 / rf::db_to_linear(params.snr_db));
+  std::normal_distribution<double> gauss(0.0, sigma);
+  for (Cplx& v : rx.freq) v += Cplx(gauss(rng), gauss(rng));
+  return rx;
+}
+
+std::vector<MultipathTap> make_nlos_taps(int n_taps, double mean_excess_s,
+                                         double first_tap_power_db, double tap_decay_db,
+                                         std::mt19937_64& rng) {
+  expects(n_taps >= 0, "make_nlos_taps: tap count must be non-negative");
+  expects(mean_excess_s > 0.0, "make_nlos_taps: mean excess delay must be positive");
+  std::exponential_distribution<double> excess(1.0 / mean_excess_s);
+  std::vector<MultipathTap> taps;
+  taps.reserve(static_cast<std::size_t>(n_taps));
+  for (int i = 0; i < n_taps; ++i)
+    taps.push_back({excess(rng), first_tap_power_db - i * tap_decay_db});
+  return taps;
+}
+
+}  // namespace skyran::lte

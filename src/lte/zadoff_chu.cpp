@@ -1,0 +1,54 @@
+#include "lte/zadoff_chu.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "geo/contract.hpp"
+
+namespace skyran::lte {
+
+namespace {
+
+bool is_prime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t largest_prime_not_above(std::uint32_t n) {
+  expects(n >= 2, "largest_prime_not_above: need n >= 2");
+  for (std::uint32_t p = n;; --p)
+    if (is_prime(p)) return p;
+}
+
+CplxVec zadoff_chu(std::uint32_t root, std::uint32_t n_zc) {
+  expects(n_zc >= 3 && is_prime(n_zc), "zadoff_chu: length must be an odd prime");
+  expects(root >= 1 && root < n_zc, "zadoff_chu: root must be in [1, n_zc)");
+  expects(std::gcd(root, n_zc) == 1, "zadoff_chu: root must be coprime with length");
+  CplxVec seq(n_zc);
+  for (std::uint32_t k = 0; k < n_zc; ++k) {
+    // k*(k+1) mod 2*Nzc keeps the phase argument in range for large lengths.
+    const std::uint64_t q =
+        (static_cast<std::uint64_t>(k) * (k + 1)) % (2ULL * n_zc);
+    const double phase = -std::numbers::pi * static_cast<double>(root) *
+                         static_cast<double>(q) / static_cast<double>(n_zc);
+    seq[k] = Cplx(std::cos(phase), std::sin(phase));
+  }
+  return seq;
+}
+
+CplxVec base_sequence(std::uint32_t root, std::uint32_t length) {
+  expects(length >= 3, "base_sequence: length must be >= 3");
+  const std::uint32_t n_zc = largest_prime_not_above(length);
+  expects(root >= 1 && root < n_zc, "base_sequence: root must be in [1, n_zc)");
+  const CplxVec zc = zadoff_chu(root, n_zc);
+  CplxVec out(length);
+  for (std::uint32_t k = 0; k < length; ++k) out[k] = zc[k % n_zc];
+  return out;
+}
+
+}  // namespace skyran::lte

@@ -1,0 +1,24 @@
+// Zadoff-Chu sequences: the constant-amplitude zero-autocorrelation family
+// underlying LTE uplink reference signals (36.211 Sec 5.5). SRS base
+// sequences are ZC sequences of the largest prime length below the allocated
+// subcarrier count, cyclically extended.
+#pragma once
+
+#include <cstdint>
+
+#include "lte/fft.hpp"
+
+namespace skyran::lte {
+
+/// Largest prime <= n (n >= 2).
+std::uint32_t largest_prime_not_above(std::uint32_t n);
+
+/// Zadoff-Chu sequence x_u[k] = exp(-i*pi*u*k*(k+1)/Nzc) of odd prime length
+/// `n_zc` with root `u` in [1, n_zc-1], gcd(u, n_zc) = 1.
+CplxVec zadoff_chu(std::uint32_t root, std::uint32_t n_zc);
+
+/// LTE-style base sequence of length `length`: ZC of the largest prime not
+/// above `length`, cyclically extended.
+CplxVec base_sequence(std::uint32_t root, std::uint32_t length);
+
+}  // namespace skyran::lte

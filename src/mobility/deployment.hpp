@@ -1,0 +1,35 @@
+// UE deployment generators: uniform-random and pocket-clustered placements
+// (the paper's Topology A / Topology B, Fig. 22, and the "UEs concentrated
+// in few pockets" setting of Fig. 1). UEs are placed on walkable ground
+// (never inside buildings).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/vec.hpp"
+#include "terrain/terrain.hpp"
+
+namespace skyran::mobility {
+
+/// `margin_m` keeps UEs away from the area boundary.
+std::vector<geo::Vec3> deploy_uniform(const terrain::Terrain& t, int count, std::uint64_t seed,
+                                      double margin_m = 10.0);
+
+/// UEs grouped into `clusters` pockets of radius `cluster_radius_m`.
+std::vector<geo::Vec3> deploy_clustered(const terrain::Terrain& t, int count, int clusters,
+                                        double cluster_radius_m, std::uint64_t seed,
+                                        double margin_m = 10.0);
+
+/// A walkable ground position (not inside a building), with z on the ground.
+geo::Vec3 random_walkable_position(const terrain::Terrain& t, std::uint64_t seed,
+                                   double margin_m = 10.0);
+
+/// Mixed-visibility deployment mirroring the paper's testbed UE choice
+/// (Sec 4.2: "UE locations are selected to ensure that all UEs experience
+/// both LOS and NLOS channels"): roughly a third of the UEs go right beside
+/// buildings, a third under/near foliage, the rest in the open.
+std::vector<geo::Vec3> deploy_mixed_visibility(const terrain::Terrain& t, int count,
+                                               std::uint64_t seed, double margin_m = 10.0);
+
+}  // namespace skyran::mobility

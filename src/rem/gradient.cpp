@@ -1,0 +1,41 @@
+#include "rem/gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/stats.hpp"
+
+namespace skyran::rem {
+
+geo::Grid2D<double> gradient_map(const geo::Grid2D<double>& snr) {
+  geo::Grid2D<double> out(snr.area(), snr.cell_size(), 0.0);
+  out.for_each([&](geo::CellIndex c, double& g) {
+    const double v = snr.at(c);
+    double best = 0.0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const geo::CellIndex n{c.ix + dx, c.iy + dy};
+        if (!snr.in_bounds(n)) continue;
+        best = std::max(best, std::abs(v - snr.at_unchecked(n)));
+      }
+    }
+    g = best;
+  });
+  return out;
+}
+
+double gradient_median(const geo::Grid2D<double>& gradient) {
+  return geo::median(gradient.raw());
+}
+
+std::vector<geo::CellIndex> high_gradient_cells(const geo::Grid2D<double>& gradient) {
+  const double threshold = gradient_median(gradient);
+  std::vector<geo::CellIndex> out;
+  gradient.for_each([&](geo::CellIndex c, const double& g) {
+    if (g > threshold) out.push_back(c);
+  });
+  return out;
+}
+
+}  // namespace skyran::rem

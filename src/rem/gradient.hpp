@@ -1,0 +1,22 @@
+// SNR gradient maps (paper Step 6.2): per cell, the greatest absolute SNR
+// difference to its directly adjacent neighbors. High-gradient cells mark
+// terrain-driven SNR fluctuation worth measuring.
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.hpp"
+
+namespace skyran::rem {
+
+/// Gradient map over the 8-neighborhood of each cell.
+geo::Grid2D<double> gradient_map(const geo::Grid2D<double>& snr);
+
+/// Cells whose gradient strictly exceeds the map's median gradient
+/// (paper Step 6.3's high/low partition).
+std::vector<geo::CellIndex> high_gradient_cells(const geo::Grid2D<double>& gradient);
+
+/// Median of all gradient values.
+double gradient_median(const geo::Grid2D<double>& gradient);
+
+}  // namespace skyran::rem

@@ -1,0 +1,98 @@
+#include "rem/idw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/contract.hpp"
+
+namespace skyran::rem {
+
+IdwInterpolator::IdwInterpolator(std::vector<IdwSample> samples, geo::Rect area, double bucket_m)
+    : samples_(std::move(samples)), buckets_(area, bucket_m) {
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const geo::Vec2 p = area.clamp(samples_[i].position);
+    buckets_.value_at(p).push_back(static_cast<int>(i));
+  }
+}
+
+std::optional<double> IdwInterpolator::estimate(geo::Vec2 p, int k, double power,
+                                                double max_radius_m) const {
+  const auto r = estimate_with_distance(p, k, power, max_radius_m);
+  if (!r) return std::nullopt;
+  return r->value;
+}
+
+std::vector<IdwInterpolator::Neighbor> IdwInterpolator::nearest(geo::Vec2 p, int k,
+                                                                double max_radius_m) const {
+  expects(k >= 1, "IdwInterpolator::nearest: k must be >= 1");
+  std::vector<Neighbor> out;
+  if (samples_.empty()) return out;
+
+  const geo::Vec2 q = buckets_.area().clamp(p);
+  const geo::CellIndex center = buckets_.cell_of(q);
+  // Never search more rings than the bucket grid spans (covers the
+  // unbounded-radius configuration).
+  const int grid_span = std::max(buckets_.nx(), buckets_.ny()) + 1;
+  const int max_ring = static_cast<int>(std::min<double>(
+      grid_span, std::ceil(max_radius_m / buckets_.cell_size()) + 1.0));
+
+  struct Found {
+    double dist2;
+    int index;
+  };
+  std::vector<Found> found;
+
+  // Ring search: expand square rings of buckets until we have k candidates
+  // whose distance is certainly not beaten by unexplored rings.
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;  // ring shell only
+        const geo::CellIndex c{center.ix + dx, center.iy + dy};
+        if (!buckets_.in_bounds(c)) continue;
+        for (int idx : buckets_.at(c)) {
+          const IdwSample& s = samples_[static_cast<std::size_t>(idx)];
+          const double d2 = (s.position - p).norm2();
+          if (d2 <= max_radius_m * max_radius_m) found.push_back({d2, idx});
+        }
+      }
+    }
+    if (static_cast<int>(found.size()) >= k) {
+      // Any sample in a farther ring is at least (ring * bucket) away from
+      // the query's bucket boundary; once the k-th best is closer, stop.
+      std::nth_element(found.begin(), found.begin() + (k - 1), found.end(),
+                       [](const Found& a, const Found& b) { return a.dist2 < b.dist2; });
+      const double kth = std::sqrt(found[static_cast<std::size_t>(k - 1)].dist2);
+      const double safe = ring * buckets_.cell_size();
+      if (kth <= safe) break;
+    }
+  }
+  const int use = std::min<int>(k, static_cast<int>(found.size()));
+  std::partial_sort(found.begin(), found.begin() + use, found.end(),
+                    [](const Found& a, const Found& b) { return a.dist2 < b.dist2; });
+  out.reserve(static_cast<std::size_t>(use));
+  for (int i = 0; i < use; ++i)
+    out.push_back({found[static_cast<std::size_t>(i)].index,
+                   std::sqrt(found[static_cast<std::size_t>(i)].dist2)});
+  return out;
+}
+
+std::optional<IdwInterpolator::EstimateWithDistance> IdwInterpolator::estimate_with_distance(
+    geo::Vec2 p, int k, double power, double max_radius_m) const {
+  expects(power > 0.0, "IdwInterpolator::estimate: power must be positive");
+  const std::vector<Neighbor> neighbors = nearest(p, k, max_radius_m);
+  if (neighbors.empty()) return std::nullopt;
+
+  double wsum = 0.0;
+  double vsum = 0.0;
+  for (const Neighbor& n : neighbors) {
+    const double v = samples_[static_cast<std::size_t>(n.index)].value;
+    if (n.distance_m < 1e-6) return EstimateWithDistance{v, n.distance_m};  // exact hit
+    const double w = 1.0 / std::pow(n.distance_m, power);
+    wsum += w;
+    vsum += w * v;
+  }
+  return EstimateWithDistance{vsum / wsum, neighbors.front().distance_m};
+}
+
+}  // namespace skyran::rem

@@ -1,0 +1,56 @@
+// Inverse Distance Weighting interpolation over scattered samples on a grid
+// (paper Sec 3.3.3, footnote 3: IDW chosen over kriging/GPR for its cost).
+// Queries use a bucketed ring search so interpolating a full map stays fast.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/vec.hpp"
+
+namespace skyran::rem {
+
+struct IdwSample {
+  geo::Vec2 position;
+  double value = 0.0;
+};
+
+class IdwInterpolator {
+ public:
+  /// Build a spatial index over `samples` within `area`. `bucket_m` is the
+  /// index cell size (search granularity, not the output grid).
+  IdwInterpolator(std::vector<IdwSample> samples, geo::Rect area, double bucket_m = 16.0);
+
+  /// IDW estimate at `p` from the `k` nearest samples within `max_radius_m`,
+  /// weighting by distance^-power. nullopt when no sample is in range.
+  std::optional<double> estimate(geo::Vec2 p, int k, double power, double max_radius_m) const;
+
+  struct EstimateWithDistance {
+    double value = 0.0;
+    double nearest_m = 0.0;  ///< distance to the closest contributing sample
+  };
+
+  /// Like estimate(), additionally reporting how far the closest sample is
+  /// (callers blend against a prior background using this distance).
+  std::optional<EstimateWithDistance> estimate_with_distance(geo::Vec2 p, int k, double power,
+                                                             double max_radius_m) const;
+
+  struct Neighbor {
+    int index = 0;       ///< into samples()
+    double distance_m = 0.0;
+  };
+
+  /// The (at most) `k` nearest samples within `max_radius_m` of `p`, nearest
+  /// first. Shared spatial index for every interpolator built on top.
+  std::vector<Neighbor> nearest(geo::Vec2 p, int k, double max_radius_m) const;
+
+  const std::vector<IdwSample>& samples() const { return samples_; }
+  std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  std::vector<IdwSample> samples_;
+  geo::Grid2D<std::vector<int>> buckets_;
+};
+
+}  // namespace skyran::rem

@@ -1,0 +1,109 @@
+#include "rem/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "geo/contract.hpp"
+
+namespace skyran::rem {
+
+namespace {
+
+double dist2_to_nearest(const geo::Vec2& p, const std::vector<geo::Vec2>& centers) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const geo::Vec2& c : centers) best = std::min(best, (p - c).norm2());
+  return best;
+}
+
+int nearest_center(const geo::Vec2& p, const std::vector<geo::Vec2>& centers) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    const double d = (p - centers[i]).norm2();
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64_t seed,
+                    int max_iterations) {
+  expects(!points.empty(), "kmeans: empty input");
+  expects(k >= 1, "kmeans: k must be >= 1");
+  k = std::min<int>(k, static_cast<int>(points.size()));
+
+  std::mt19937_64 rng(seed);
+
+  // k-means++ seeding: first center weighted-uniform, then proportional to
+  // weighted squared distance from the chosen set.
+  std::vector<geo::Vec2> centers;
+  centers.reserve(static_cast<std::size_t>(k));
+  {
+    std::vector<double> cdf(points.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      total += std::max(points[i].weight, 1e-12);
+      cdf[i] = total;
+    }
+    std::uniform_real_distribution<double> pick(0.0, total);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), pick(rng));
+    centers.push_back(points[static_cast<std::size_t>(it - cdf.begin())].position);
+  }
+  while (static_cast<int>(centers.size()) < k) {
+    std::vector<double> cdf(points.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      total += std::max(points[i].weight, 1e-12) * dist2_to_nearest(points[i].position, centers);
+      cdf[i] = total;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centers; duplicate one.
+      centers.push_back(points.front().position);
+      continue;
+    }
+    std::uniform_real_distribution<double> pick(0.0, total);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), pick(rng));
+    centers.push_back(points[static_cast<std::size_t>(it - cdf.begin())].position);
+  }
+
+  KMeansResult result;
+  result.assignment.assign(points.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const int a = nearest_center(points[i].position, centers);
+      if (a != result.assignment[i]) {
+        result.assignment[i] = a;
+        changed = true;
+      }
+    }
+    // Recompute weighted centroids.
+    std::vector<geo::Vec2> sums(centers.size());
+    std::vector<double> weights(centers.size(), 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto a = static_cast<std::size_t>(result.assignment[i]);
+      sums[a] += points[i].position * points[i].weight;
+      weights[a] += points[i].weight;
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c)
+      if (weights[c] > 0.0) centers[c] = sums[c] / weights[c];
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto a = static_cast<std::size_t>(result.assignment[i]);
+    result.inertia += points[i].weight * (points[i].position - centers[a]).norm2();
+  }
+  result.centroids = std::move(centers);
+  return result;
+}
+
+}  // namespace skyran::rem

@@ -1,0 +1,31 @@
+// Weighted spatial k-means (paper Step 6.3): clusters high-gradient cells so
+// that one representative "cluster head" per spatial group can anchor the
+// measurement tour. Lloyd's algorithm with k-means++ seeding; deterministic
+// in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/vec.hpp"
+
+namespace skyran::rem {
+
+struct WeightedPoint {
+  geo::Vec2 position;
+  double weight = 1.0;
+};
+
+struct KMeansResult {
+  std::vector<geo::Vec2> centroids;     ///< k cluster heads
+  std::vector<int> assignment;          ///< per-point cluster id
+  double inertia = 0.0;                 ///< weighted sum of squared distances
+  int iterations = 0;
+};
+
+/// Cluster `points` into `k` groups. If k >= points.size(), each point
+/// becomes its own centroid. Throws for k < 1 or empty input.
+KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64_t seed,
+                    int max_iterations = 50);
+
+}  // namespace skyran::rem

@@ -1,0 +1,150 @@
+#include "rem/kriging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "geo/contract.hpp"
+
+namespace skyran::rem {
+
+double Variogram::operator()(double distance_m) const {
+  if (distance_m <= 0.0) return 0.0;
+  return nugget + sill * (1.0 - std::exp(-distance_m / range_m));
+}
+
+Variogram fit_variogram(const std::vector<IdwSample>& samples, double max_lag_m, int bins) {
+  expects(max_lag_m > 0.0, "fit_variogram: max lag must be positive");
+  expects(bins >= 3, "fit_variogram: need at least 3 bins");
+  Variogram v;  // defaults double as the fallback
+  if (samples.size() < 20) return v;
+
+  // Empirical semivariance per distance bin. Pair count is capped by
+  // subsampling so fitting stays O(n) for big sample sets.
+  std::vector<double> gamma(static_cast<std::size_t>(bins), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(bins), 0);
+  const std::size_t stride = std::max<std::size_t>(1, samples.size() * samples.size() / 200000);
+  std::size_t pair_idx = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      if (pair_idx++ % stride != 0) continue;
+      const double h = samples[i].position.dist(samples[j].position);
+      if (h >= max_lag_m) continue;
+      const auto b = static_cast<std::size_t>(h / max_lag_m * bins);
+      const double d = samples[i].value - samples[j].value;
+      gamma[b] += 0.5 * d * d;
+      ++count[b];
+    }
+  }
+
+  std::vector<double> lag, semi;
+  for (int b = 0; b < bins; ++b) {
+    if (count[static_cast<std::size_t>(b)] < 5) continue;
+    lag.push_back((b + 0.5) * max_lag_m / bins);
+    semi.push_back(gamma[static_cast<std::size_t>(b)] / count[static_cast<std::size_t>(b)]);
+  }
+  if (lag.size() < 3) return v;
+
+  // Grid-search the range; nugget/sill follow by least squares against
+  // the basis {1, 1 - exp(-h/range)}.
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double range = max_lag_m / 10.0; range <= max_lag_m; range += max_lag_m / 10.0) {
+    double s_bb = 0.0, s_b1 = 0.0, s_11 = static_cast<double>(lag.size());
+    double s_yb = 0.0, s_y1 = 0.0;
+    for (std::size_t i = 0; i < lag.size(); ++i) {
+      const double b = 1.0 - std::exp(-lag[i] / range);
+      s_bb += b * b;
+      s_b1 += b;
+      s_yb += semi[i] * b;
+      s_y1 += semi[i];
+    }
+    const double det = s_bb * s_11 - s_b1 * s_b1;
+    if (std::abs(det) < 1e-12) continue;
+    const double sill = (s_yb * s_11 - s_y1 * s_b1) / det;
+    const double nugget = (s_y1 - sill * s_b1) / s_11;
+    if (sill <= 0.0) continue;
+    double sse = 0.0;
+    for (std::size_t i = 0; i < lag.size(); ++i) {
+      const double fit = std::max(0.0, nugget) + sill * (1.0 - std::exp(-lag[i] / range));
+      sse += (fit - semi[i]) * (fit - semi[i]);
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      v.range_m = range;
+      v.sill = sill;
+      v.nugget = std::max(0.0, nugget);
+    }
+  }
+  return v;
+}
+
+KrigingInterpolator::KrigingInterpolator(std::vector<IdwSample> samples, geo::Rect area,
+                                         Variogram variogram, double bucket_m)
+    : samples_(samples), index_(std::move(samples), area, bucket_m), variogram_(variogram) {}
+
+std::optional<double> KrigingInterpolator::estimate(geo::Vec2 p, int k,
+                                                    double max_radius_m) const {
+  const std::vector<IdwInterpolator::Neighbor> nb = index_.nearest(p, k, max_radius_m);
+  if (nb.empty()) return std::nullopt;
+  if (nb.front().distance_m < 1e-6)
+    return samples_[static_cast<std::size_t>(nb.front().index)].value;
+  const int n = static_cast<int>(nb.size());
+  if (n == 1) return samples_[static_cast<std::size_t>(nb.front().index)].value;
+
+  // Ordinary kriging system: [Gamma 1; 1^T 0] [w; mu] = [gamma0; 1].
+  const int m = n + 1;
+  std::vector<double> a(static_cast<std::size_t>(m * m), 0.0);
+  std::vector<double> rhs(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const geo::Vec2 pi = samples_[static_cast<std::size_t>(nb[i].index)].position;
+    for (int j = 0; j < n; ++j) {
+      const geo::Vec2 pj = samples_[static_cast<std::size_t>(nb[j].index)].position;
+      a[static_cast<std::size_t>(i * m + j)] = variogram_(pi.dist(pj));
+    }
+    a[static_cast<std::size_t>(i * m + n)] = 1.0;
+    a[static_cast<std::size_t>(n * m + i)] = 1.0;
+    rhs[static_cast<std::size_t>(i)] = variogram_(nb[i].distance_m);
+  }
+  rhs[static_cast<std::size_t>(n)] = 1.0;
+
+  // Gaussian elimination with partial pivoting on the (n+1) system.
+  for (int col = 0; col < m; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < m; ++r)
+      if (std::abs(a[static_cast<std::size_t>(r * m + col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot * m + col)]))
+        pivot = r;
+    if (std::abs(a[static_cast<std::size_t>(pivot * m + col)]) < 1e-10) {
+      // Degenerate geometry (e.g. collinear duplicates): fall back to the
+      // nearest sample.
+      return samples_[static_cast<std::size_t>(nb.front().index)].value;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < m; ++c)
+        std::swap(a[static_cast<std::size_t>(col * m + c)],
+                  a[static_cast<std::size_t>(pivot * m + c)]);
+      std::swap(rhs[static_cast<std::size_t>(col)], rhs[static_cast<std::size_t>(pivot)]);
+    }
+    for (int r = col + 1; r < m; ++r) {
+      const double f = a[static_cast<std::size_t>(r * m + col)] /
+                       a[static_cast<std::size_t>(col * m + col)];
+      for (int c = col; c < m; ++c)
+        a[static_cast<std::size_t>(r * m + c)] -= f * a[static_cast<std::size_t>(col * m + c)];
+      rhs[static_cast<std::size_t>(r)] -= f * rhs[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+  for (int r = m - 1; r >= 0; --r) {
+    double s = rhs[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < m; ++c)
+      s -= a[static_cast<std::size_t>(r * m + c)] * w[static_cast<std::size_t>(c)];
+    w[static_cast<std::size_t>(r)] = s / a[static_cast<std::size_t>(r * m + r)];
+  }
+
+  double est = 0.0;
+  for (int i = 0; i < n; ++i)
+    est += w[static_cast<std::size_t>(i)] * samples_[static_cast<std::size_t>(nb[i].index)].value;
+  return est;
+}
+
+}  // namespace skyran::rem

@@ -1,0 +1,58 @@
+// Layered (3-D) REMs. The paper deliberately avoids full 3-D REMs - probing
+// O(N^3) airspace is prohibitive and maps at nearby altitudes are highly
+// correlated (Sec 3.3.1) - and fixes one operating altitude instead. This
+// module implements the road not taken: per-UE REMs stacked at several
+// altitudes with interpolation in between, and placement that searches over
+// (x, y, z). bench/ablation_3d_placement quantifies what the single-altitude
+// simplification costs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rem/placement.hpp"
+#include "rem/rem.hpp"
+
+namespace skyran::rem {
+
+/// A stack of per-altitude REMs for one UE.
+class LayeredRem {
+ public:
+  /// `altitudes_m` must be strictly increasing.
+  LayeredRem(geo::Rect area, double cell_size, std::vector<double> altitudes_m,
+             geo::Vec3 ue_position);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  const std::vector<double>& altitudes_m() const { return altitudes_; }
+  Rem& layer(std::size_t i);
+  const Rem& layer(std::size_t i) const;
+
+  /// Layer index whose altitude is nearest to `altitude_m`.
+  std::size_t nearest_layer(double altitude_m) const;
+
+  /// Full-map estimate at an arbitrary altitude: linear interpolation
+  /// between the two bracketing layers' estimates (clamped at the ends).
+  geo::Grid2D<double> estimate_at(double altitude_m, const IdwParams& params = {}) const;
+
+  const geo::Vec3& ue_position() const { return layers_.front().ue_position(); }
+
+ private:
+  std::vector<double> altitudes_;
+  std::vector<Rem> layers_;
+};
+
+struct Placement3D {
+  geo::Vec2 position;
+  double altitude_m = 0.0;
+  double objective_snr_db = 0.0;
+};
+
+/// Search (x, y, layer altitude) for the best placement under `objective`;
+/// feasibility-masked per altitude. All stacks must share geometry and the
+/// same altitude ladder.
+Placement3D choose_placement_3d(std::span<const LayeredRem> stacks,
+                                const terrain::Terrain& t,
+                                PlacementObjective objective = PlacementObjective::kMaxMin,
+                                const IdwParams& params = {});
+
+}  // namespace skyran::rem

@@ -1,0 +1,159 @@
+#include "rem/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/contract.hpp"
+
+namespace skyran::rem {
+
+geo::Grid2D<double> min_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps) {
+  expects(!per_ue_maps.empty(), "min_snr_map: need at least one REM");
+  geo::Grid2D<double> out = per_ue_maps.front();
+  for (std::size_t i = 1; i < per_ue_maps.size(); ++i) {
+    expects(out.same_geometry(per_ue_maps[i]), "min_snr_map: geometry mismatch");
+    const auto& raw = per_ue_maps[i].raw();
+    for (std::size_t j = 0; j < raw.size(); ++j) out.raw()[j] = std::min(out.raw()[j], raw[j]);
+  }
+  return out;
+}
+
+geo::Grid2D<double> mean_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps,
+                                 std::span<const double> weights) {
+  expects(!per_ue_maps.empty(), "mean_snr_map: need at least one REM");
+  expects(weights.empty() || weights.size() == per_ue_maps.size(),
+          "mean_snr_map: weight count must match REM count");
+  geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < per_ue_maps.size(); ++i) {
+    expects(out.same_geometry(per_ue_maps[i]), "mean_snr_map: geometry mismatch");
+    const double w = weights.empty() ? 1.0 : weights[i];
+    expects(w >= 0.0, "mean_snr_map: weights must be non-negative");
+    weight_sum += w;
+    const auto& raw = per_ue_maps[i].raw();
+    for (std::size_t j = 0; j < raw.size(); ++j) out.raw()[j] += w * raw[j];
+  }
+  expects(weight_sum > 0.0, "mean_snr_map: weights must not all be zero");
+  for (double& v : out.raw()) v /= weight_sum;
+  return out;
+}
+
+geo::Grid2D<double> coverage_map(std::span<const geo::Grid2D<double>> per_ue_maps,
+                                 double threshold_db) {
+  expects(!per_ue_maps.empty(), "coverage_map: need at least one REM");
+  geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
+  for (const geo::Grid2D<double>& m : per_ue_maps) {
+    expects(out.same_geometry(m), "coverage_map: geometry mismatch");
+    for (std::size_t j = 0; j < m.raw().size(); ++j)
+      if (m.raw()[j] >= threshold_db) out.raw()[j] += 1.0;
+  }
+  for (double& v : out.raw()) v /= static_cast<double>(per_ue_maps.size());
+  return out;
+}
+
+namespace {
+
+geo::Grid2D<double> objective_map(std::span<const geo::Grid2D<double>> per_ue_maps,
+                                  PlacementObjective objective,
+                                  std::span<const double> weights) {
+  switch (objective) {
+    case PlacementObjective::kMaxMin:
+      return min_snr_map(per_ue_maps);
+    case PlacementObjective::kMaxCoverage: {
+      // Coverage plateaus everywhere several UEs are served: break ties
+      // with a small mean-SNR term so the argmax stays meaningful.
+      geo::Grid2D<double> cov = coverage_map(per_ue_maps);
+      const geo::Grid2D<double> mean = mean_snr_map(per_ue_maps);
+      for (std::size_t j = 0; j < cov.raw().size(); ++j)
+        cov.raw()[j] += 1e-4 * mean.raw()[j];
+      return cov;
+    }
+    case PlacementObjective::kMaxMean:
+    case PlacementObjective::kMaxWeighted:
+      break;
+  }
+  return mean_snr_map(per_ue_maps, objective == PlacementObjective::kMaxWeighted
+                                       ? weights
+                                       : std::span<const double>{});
+}
+
+Placement argmax_placement(const geo::Grid2D<double>& map) {
+  Placement best;
+  double best_v = -std::numeric_limits<double>::infinity();
+  map.for_each([&](geo::CellIndex c, const double& v) {
+    if (v > best_v) {
+      best_v = v;
+      best.position = map.center_of(c);
+    }
+  });
+  best.objective_snr_db = best_v;
+  return best;
+}
+
+}  // namespace
+
+Placement choose_placement(std::span<const geo::Grid2D<double>> per_ue_maps,
+                           PlacementObjective objective, std::span<const double> weights) {
+  return argmax_placement(objective_map(per_ue_maps, objective, weights));
+}
+
+Placement choose_placement_feasible(std::span<const geo::Grid2D<double>> per_ue_maps,
+                                    const terrain::Terrain& t, double altitude_m,
+                                    PlacementObjective objective,
+                                    std::span<const double> weights, double clearance_m) {
+  geo::Grid2D<double> map = objective_map(per_ue_maps, objective, weights);
+  mask_infeasible_cells(map, t, altitude_m, clearance_m);
+  return argmax_placement(map);
+}
+
+void mask_infeasible_cells(geo::Grid2D<double>& objective, const terrain::Terrain& t,
+                           double altitude_m, double clearance_m) {
+  objective.for_each([&](geo::CellIndex c, double& v) {
+    if (t.surface_height(objective.center_of(c)) + clearance_m > altitude_m) v = -1e9;
+  });
+}
+
+AltitudeSearchResult find_optimal_altitude(const rf::ChannelModel& channel, geo::Vec2 xy,
+                                           std::span<const geo::Vec3> ue_positions,
+                                           double start_altitude_m, double min_altitude_m,
+                                           double step_m, int patience) {
+  expects(!ue_positions.empty(), "find_optimal_altitude: need at least one UE");
+  expects(start_altitude_m > min_altitude_m, "find_optimal_altitude: start must exceed min");
+  expects(step_m > 0.0, "find_optimal_altitude: step must be positive");
+
+  // Average each probe over a small circle of hover positions: a single
+  // point would be dominated by local shadow fading.
+  const auto mean_loss = [&](double alt) {
+    constexpr int kProbePoints = 6;
+    constexpr double kProbeRadius = 20.0;
+    double sum = 0.0;
+    for (int i = 0; i < kProbePoints; ++i) {
+      const double ang = 2.0 * M_PI * i / kProbePoints;
+      const geo::Vec2 at = xy + geo::Vec2{std::cos(ang), std::sin(ang)} * kProbeRadius;
+      for (const geo::Vec3& ue : ue_positions)
+        sum += channel.path_loss_db(geo::Vec3{at, alt}, ue);
+    }
+    return sum / static_cast<double>(ue_positions.size() * kProbePoints);
+  };
+
+  AltitudeSearchResult best;
+  best.altitude_m = start_altitude_m;
+  best.mean_path_loss_db = mean_loss(start_altitude_m);
+  best.probes = 1;
+  int worse_streak = 0;
+  for (double alt = start_altitude_m - step_m; alt >= min_altitude_m; alt -= step_m) {
+    const double loss = mean_loss(alt);
+    ++best.probes;
+    if (loss < best.mean_path_loss_db) {
+      best.mean_path_loss_db = loss;
+      best.altitude_m = alt;
+      worse_streak = 0;
+    } else if (++worse_streak >= patience) {
+      break;  // path loss has turned around: shadowing dominates below
+    }
+  }
+  return best;
+}
+
+}  // namespace skyran::rem

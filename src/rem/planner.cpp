@@ -1,0 +1,67 @@
+#include "rem/planner.hpp"
+
+#include <algorithm>
+
+#include "geo/contract.hpp"
+#include "rem/gradient.hpp"
+#include "rem/kmeans.hpp"
+#include "rem/tsp.hpp"
+#include "uav/trajectory.hpp"
+
+namespace skyran::rem {
+
+PlannedTrajectory plan_measurement_trajectory(std::span<const Rem> rems,
+                                              const std::vector<TrajectoryHistory>& history,
+                                              geo::Vec2 start, const PlannerConfig& config) {
+  expects(!rems.empty(), "plan_measurement_trajectory: need at least one REM");
+  expects(history.size() == rems.size(),
+          "plan_measurement_trajectory: history size must match REM count");
+  expects(config.k_min >= 1 && config.k_max >= config.k_min,
+          "plan_measurement_trajectory: invalid K range");
+
+  // Step 6.1: aggregate REM = cell-wise sum of per-UE estimates.
+  geo::Grid2D<double> aggregate = rems.front().estimate(config.idw);
+  for (std::size_t i = 1; i < rems.size(); ++i) {
+    const geo::Grid2D<double> est = rems[i].estimate(config.idw);
+    expects(aggregate.same_geometry(est), "plan_measurement_trajectory: REM geometry mismatch");
+    for (std::size_t j = 0; j < est.raw().size(); ++j) aggregate.raw()[j] += est.raw()[j];
+  }
+
+  // Step 6.2-6.3: gradient map, median partition, weighted candidate points.
+  const geo::Grid2D<double> grad = gradient_map(aggregate);
+  const std::vector<geo::CellIndex> hot = high_gradient_cells(grad);
+
+  std::vector<WeightedPoint> points;
+  points.reserve(hot.size());
+  for (geo::CellIndex c : hot) points.push_back({grad.center_of(c), grad.at(c)});
+  if (points.empty()) {
+    // Degenerate map (e.g. perfectly flat estimate): probe around the UEs.
+    for (const Rem& r : rems) points.push_back({r.area().clamp(r.ue_position().xy()), 1.0});
+  }
+
+  // Step 6.4: K-sweep -> TSP tour -> information-to-cost selection.
+  PlannedTrajectory best;
+  bool have_best = false;
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    const KMeansResult clusters = kmeans(points, k, config.seed + static_cast<std::uint64_t>(k));
+    geo::Path tour = plan_tour(start, clusters.centroids);
+    if (config.budget_m > 0.0) tour = uav::truncate_to_budget(tour, config.budget_m);
+    const double cost = tour.length();
+    if (cost <= 0.0) continue;
+    const double gain = average_info_gain(tour, history, config.info);
+    const double ratio = gain / cost;
+    if (!have_best || ratio > best.info_to_cost) {
+      best.path = std::move(tour);
+      best.k = k;
+      best.info_gain = gain;
+      best.cost_m = cost;
+      best.info_to_cost = ratio;
+      have_best = true;
+    }
+  }
+  expects(have_best, "plan_measurement_trajectory: no feasible tour");
+  best.high_gradient_cells = hot.size();
+  return best;
+}
+
+}  // namespace skyran::rem

@@ -1,0 +1,45 @@
+// Measurement-trajectory planner (paper Step 6, Fig. 11): aggregate the
+// current per-UE REM estimates, compute the gradient map, keep cells above
+// the median gradient, cluster them with k-means for each K in
+// [k_min, k_max], connect each K's cluster heads with a TSP tour, and pick
+// the tour with the best information-gain-to-cost ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/path.hpp"
+#include "rem/info_gain.hpp"
+#include "rem/rem.hpp"
+
+namespace skyran::rem {
+
+struct PlannerConfig {
+  int k_min = 4;
+  int k_max = 12;
+  InfoGainParams info{};
+  IdwParams idw{};
+  /// Optional hard cap on the tour length (measurement budget); 0 = none.
+  double budget_m = 0.0;
+  std::uint64_t seed = 7;
+};
+
+struct PlannedTrajectory {
+  geo::Path path;
+  int k = 0;                   ///< cluster count of the winning tour
+  double info_gain = 0.0;      ///< average info gain (meters)
+  double cost_m = 0.0;         ///< tour length
+  double info_to_cost = 0.0;
+  std::size_t high_gradient_cells = 0;
+};
+
+/// Plan the next measurement tour.
+/// `rems` holds the current (possibly sparse) per-UE REMs; `history` the
+/// trajectories already flown per UE (same order); `start` is the UAV's
+/// current ground position.
+PlannedTrajectory plan_measurement_trajectory(std::span<const Rem> rems,
+                                              const std::vector<TrajectoryHistory>& history,
+                                              geo::Vec2 start, const PlannerConfig& config);
+
+}  // namespace skyran::rem

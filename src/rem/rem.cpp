@@ -1,0 +1,111 @@
+#include "rem/rem.hpp"
+
+#include <cmath>
+
+#include "geo/contract.hpp"
+#include "geo/stats.hpp"
+#include "rem/idw.hpp"
+
+namespace skyran::rem {
+
+Rem::Rem(geo::Rect area, double cell_size, double altitude_m, geo::Vec3 ue_position)
+    : sums_(area, cell_size, 0.0),
+      counts_(area, cell_size, 0),
+      background_(area, cell_size, 0.0),
+      altitude_m_(altitude_m),
+      ue_position_(ue_position) {
+  expects(altitude_m > 0.0, "Rem: altitude must be positive");
+}
+
+void Rem::add_measurement(geo::Vec2 at, double snr_db) {
+  expects(area().contains(at), "Rem::add_measurement: position outside area");
+  const geo::CellIndex c = sums_.cell_of(at);
+  if (counts_.at(c) == 0) ++measured_count_;
+  sums_.at(c) += snr_db;
+  counts_.at(c) += 1;
+}
+
+void Rem::restore_measurement(geo::CellIndex c, double snr_sum_db, int count) {
+  expects(count >= 1, "Rem::restore_measurement: count must be >= 1");
+  if (counts_.at(c) == 0) ++measured_count_;
+  sums_.at(c) = snr_sum_db;
+  counts_.at(c) = count;
+}
+
+double Rem::measured_fraction() const {
+  return static_cast<double>(measured_count_) / static_cast<double>(counts_.size());
+}
+
+std::optional<double> Rem::measured_snr(geo::CellIndex c) const {
+  const int n = counts_.at(c);
+  if (n == 0) return std::nullopt;
+  return sums_.at(c) / n;
+}
+
+void Rem::seed_from_model(const rf::ChannelModel& model, const rf::LinkBudget& budget) {
+  background_.for_each([&](geo::CellIndex c, double& v) {
+    const geo::Vec3 uav{background_.center_of(c), altitude_m_};
+    v = budget.snr_db(model.path_loss_db(uav, ue_position_));
+  });
+  background_source_ = BackgroundSource::kModel;
+}
+
+void Rem::seed_from(const Rem& prior, const IdwParams& params) {
+  expects(background_.same_geometry(prior.background_),
+          "Rem::seed_from: geometry mismatch with prior REM");
+  background_ = prior.estimate(params);
+  // A prior seeded purely from a model carries no measurement information:
+  // keep treating it as a model background.
+  background_source_ = prior.measured_cells() > 0 ||
+                               prior.background_source_ == BackgroundSource::kPrior
+                           ? BackgroundSource::kPrior
+                           : prior.background_source_;
+}
+
+geo::Grid2D<double> Rem::estimate(const IdwParams& params) const {
+  // Gather measured cells as IDW samples.
+  std::vector<IdwSample> samples;
+  samples.reserve(measured_count_);
+  counts_.for_each([&](geo::CellIndex c, const int& n) {
+    if (n > 0) samples.push_back({counts_.center_of(c), sums_.at(c) / n});
+  });
+  const IdwInterpolator idw(std::move(samples), area());
+
+  const bool blend_prior = background_source_ == BackgroundSource::kPrior &&
+                           params.background_blend_m > 0.0;
+  geo::Grid2D<double> out(area(), cell_size(), 0.0);
+  out.for_each([&](geo::CellIndex c, double& v) {
+    if (const std::optional<double> m = measured_snr(c)) {
+      v = *m;
+      return;
+    }
+    const auto interp = idw.estimate_with_distance(out.center_of(c), params.k_neighbors,
+                                                   params.power, params.max_radius_m);
+    if (interp && blend_prior) {
+      // Temporal aggregation: fresh measurements dominate near the tour,
+      // the prior epoch's map dominates far from it.
+      const double w = std::exp(-interp->nearest_m / params.background_blend_m);
+      v = w * interp->value + (1.0 - w) * background_.at(c);
+    } else if (interp) {
+      v = interp->value;
+    } else if (has_background()) {
+      v = background_.at(c);
+    } else {
+      v = 0.0;  // no information at all
+    }
+  });
+  return out;
+}
+
+double median_abs_error_db(const geo::Grid2D<double>& estimate,
+                           const geo::Grid2D<double>& ground_truth) {
+  expects(estimate.same_geometry(ground_truth), "median_abs_error_db: geometry mismatch");
+  std::vector<double> errs;
+  errs.reserve(estimate.size());
+  estimate.for_each([&](geo::CellIndex c, const double& v) {
+    errs.push_back(std::abs(v - ground_truth.at(c)));
+  });
+  return geo::median(errs);
+}
+
+}  // namespace skyran::rem

@@ -1,0 +1,99 @@
+// Radio Environment Maps (paper Sec 3.3): a per-UE 2-D grid over the
+// operating area at the target altitude, each cell holding the SNR from that
+// UAV position to the UE. Cells along flown trajectories hold measured
+// averages; the rest are estimated by IDW interpolation over measurements,
+// falling back to a model-seeded background (FSPL for brand-new UEs, or a
+// reused historical REM, Sec 3.5).
+#pragma once
+
+#include <optional>
+
+#include "geo/grid.hpp"
+#include "geo/rect.hpp"
+#include "geo/vec.hpp"
+#include "rf/channel.hpp"
+#include "rf/link.hpp"
+
+namespace skyran::rem {
+
+/// IDW interpolation parameters (paper uses inverse-square weighting). By
+/// default interpolation uses the k nearest measurements regardless of
+/// distance, so any measurement flight informs the whole map; a finite
+/// `max_radius_m` makes far cells fall back to the model background instead.
+struct IdwParams {
+  int k_neighbors = 8;         ///< measured cells consulted per estimate
+  double power = 2.0;          ///< inverse-distance exponent
+  double max_radius_m = 1e9;   ///< beyond this, fall back to the background
+  /// When the background came from a PRIOR REM (temporal aggregation,
+  /// Sec 3.5), interpolation and background are blended with weight
+  /// exp(-d / background_blend_m) on the interpolation, d being the distance
+  /// to the nearest fresh measurement: fresh data wins nearby, the prior
+  /// map wins far from this epoch's tour. Model (FSPL) backgrounds are NOT
+  /// blended - they only fill in when nothing has been measured at all.
+  double background_blend_m = 60.0;
+};
+
+class Rem {
+ public:
+  /// REM for the UE at `ue_position`, covering `area` at `altitude_m`.
+  Rem(geo::Rect area, double cell_size, double altitude_m, geo::Vec3 ue_position);
+
+  /// Record one SNR report taken at UAV ground-position `at` (the UAV is at
+  /// the REM altitude). Reports within a cell are averaged (Sec 3.3.3).
+  void add_measurement(geo::Vec2 at, double snr_db);
+
+  /// Seed every cell's background with `model` SNR predictions through
+  /// `budget` (used for brand-new UEs, Sec 3.5). Does not mark cells measured.
+  void seed_from_model(const rf::ChannelModel& model, const rf::LinkBudget& budget);
+
+  /// Seed the background from another REM's estimate (historical reuse).
+  /// Grids must share geometry.
+  void seed_from(const Rem& prior, const IdwParams& params = {});
+
+  /// Number of cells with at least one measurement.
+  std::size_t measured_cells() const { return measured_count_; }
+  double measured_fraction() const;
+  bool is_measured(geo::CellIndex c) const { return counts_.at(c) > 0; }
+
+  /// Measured mean SNR of a cell; nullopt when unmeasured.
+  std::optional<double> measured_snr(geo::CellIndex c) const;
+
+  /// Number of raw reports accumulated in a cell (0 = unmeasured).
+  int measurement_count(geo::CellIndex c) const { return counts_.at(c); }
+
+  /// Restore a cell's accumulator verbatim (deserialization); replaces any
+  /// existing content of the cell.
+  void restore_measurement(geo::CellIndex c, double snr_sum_db, int count);
+
+  /// Full-map estimate: measured mean where available, IDW over measured
+  /// cells elsewhere, background where no measurement is in range.
+  geo::Grid2D<double> estimate(const IdwParams& params = {}) const;
+
+  const geo::Rect& area() const { return sums_.area(); }
+  double cell_size() const { return sums_.cell_size(); }
+  double altitude_m() const { return altitude_m_; }
+  const geo::Vec3& ue_position() const { return ue_position_; }
+  void set_ue_position(geo::Vec3 p) { ue_position_ = p; }
+  /// Where the background values came from.
+  enum class BackgroundSource { kNone, kModel, kPrior };
+
+  const geo::Grid2D<double>& background() const { return background_; }
+  bool has_background() const { return background_source_ != BackgroundSource::kNone; }
+  BackgroundSource background_source() const { return background_source_; }
+
+ private:
+  geo::Grid2D<double> sums_;
+  geo::Grid2D<int> counts_;
+  geo::Grid2D<double> background_;
+  BackgroundSource background_source_ = BackgroundSource::kNone;
+  double altitude_m_;
+  geo::Vec3 ue_position_;
+  std::size_t measured_count_ = 0;
+};
+
+/// Median absolute difference between two SNR maps (the paper's "median REM
+/// accuracy (dB)" metric). Grids must share geometry.
+double median_abs_error_db(const geo::Grid2D<double>& estimate,
+                           const geo::Grid2D<double>& ground_truth);
+
+}  // namespace skyran::rem

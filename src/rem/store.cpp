@@ -1,0 +1,135 @@
+#include "rem/store.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "geo/contract.hpp"
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'Y', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("RemStore::load: truncated input");
+  return v;
+}
+
+}  // namespace
+
+namespace skyran::rem {
+
+RemStore::RemStore(double reuse_radius_m) : reuse_radius_m_(reuse_radius_m) {
+  expects(reuse_radius_m > 0.0, "RemStore: reuse radius must be positive");
+}
+
+void RemStore::put(Rem rem) {
+  for (Rem& existing : entries_) {
+    if (existing.ue_position().xy().dist(rem.ue_position().xy()) <= reuse_radius_m_) {
+      existing = std::move(rem);
+      return;
+    }
+  }
+  entries_.push_back(std::move(rem));
+}
+
+const Rem* RemStore::find_near(geo::Vec2 position) const {
+  const Rem* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Rem& r : entries_) {
+    const double d = r.ue_position().xy().dist(position);
+    if (d <= reuse_radius_m_ && d < best_d) {
+      best_d = d;
+      best = &r;
+    }
+  }
+  return best;
+}
+
+void RemStore::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, reuse_radius_m_);
+  write_pod(os, static_cast<std::uint32_t>(entries_.size()));
+  for (const Rem& r : entries_) {
+    write_pod(os, r.area().min.x);
+    write_pod(os, r.area().min.y);
+    write_pod(os, r.area().max.x);
+    write_pod(os, r.area().max.y);
+    write_pod(os, r.cell_size());
+    write_pod(os, r.altitude_m());
+    write_pod(os, r.ue_position().x);
+    write_pod(os, r.ue_position().y);
+    write_pod(os, r.ue_position().z);
+    write_pod(os, static_cast<std::uint32_t>(r.measured_cells()));
+    const auto& grid = r.background();  // geometry reference
+    grid.for_each([&](geo::CellIndex c, const double&) {
+      const int n = r.measurement_count(c);
+      if (n == 0) return;
+      write_pod(os, static_cast<std::int32_t>(c.ix));
+      write_pod(os, static_cast<std::int32_t>(c.iy));
+      write_pod(os, *r.measured_snr(c) * n);  // sum
+      write_pod(os, static_cast<std::int32_t>(n));
+    });
+  }
+  if (!os) throw std::runtime_error("RemStore::save: write failed");
+}
+
+RemStore RemStore::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("RemStore::load: bad magic");
+  if (read_pod<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("RemStore::load: unsupported version");
+  RemStore store(read_pod<double>(is));
+  const auto n_entries = read_pod<std::uint32_t>(is);
+  for (std::uint32_t e = 0; e < n_entries; ++e) {
+    const double min_x = read_pod<double>(is);
+    const double min_y = read_pod<double>(is);
+    const double max_x = read_pod<double>(is);
+    const double max_y = read_pod<double>(is);
+    const double cell = read_pod<double>(is);
+    const double altitude = read_pod<double>(is);
+    const double ux = read_pod<double>(is);
+    const double uy = read_pod<double>(is);
+    const double uz = read_pod<double>(is);
+    const auto n_cells = read_pod<std::uint32_t>(is);
+    Rem rem(geo::Rect{{min_x, min_y}, {max_x, max_y}}, cell, altitude, {ux, uy, uz});
+    for (std::uint32_t i = 0; i < n_cells; ++i) {
+      const auto ix = read_pod<std::int32_t>(is);
+      const auto iy = read_pod<std::int32_t>(is);
+      const double sum = read_pod<double>(is);
+      const auto count = read_pod<std::int32_t>(is);
+      rem.restore_measurement({ix, iy}, sum, count);
+    }
+    store.entries_.push_back(std::move(rem));
+  }
+  return store;
+}
+
+Rem RemStore::make_for_ue(geo::Rect area, double cell_size, double altitude_m,
+                          geo::Vec3 ue_position, const rf::ChannelModel& fallback_model,
+                          const rf::LinkBudget& budget, const IdwParams& idw) const {
+  Rem rem(area, cell_size, altitude_m, ue_position);
+  if (const Rem* prior = find_near(ue_position.xy())) {
+    rem.seed_from(*prior, idw);
+  } else {
+    rem.seed_from_model(fallback_model, budget);
+  }
+  return rem;
+}
+
+}  // namespace skyran::rem

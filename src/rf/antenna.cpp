@@ -1,0 +1,17 @@
+#include "rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyran::rf {
+
+double Antenna::gain_dbi(geo::Vec3 position, geo::Vec3 target) const {
+  const geo::Vec3 d = target - position;
+  const double r = d.norm();
+  if (r <= 0.0) return peak_gain_dbi_;
+  // sin(elevation-from-horizon) = |dz| / r; the taper is max at zenith/nadir.
+  const double s = std::abs(d.z) / r;
+  return peak_gain_dbi_ - vertical_rolloff_db_ * s * s;
+}
+
+}  // namespace skyran::rf

@@ -1,0 +1,28 @@
+// Antenna gain patterns. The SkyRAN payload carries a 5 dBi omni LTE antenna
+// (Sec 4.1): omnidirectional in azimuth with a dipole-like elevation rolloff
+// (less gain straight down, which matters for a UAV directly overhead).
+#pragma once
+
+#include "geo/vec.hpp"
+
+namespace skyran::rf {
+
+class Antenna {
+ public:
+  /// `peak_gain_dbi`: boresight (horizon) gain.
+  /// `vertical_rolloff_db`: gain reduction at zenith/nadir relative to the
+  /// horizon; intermediate angles follow a cosine-squared taper.
+  explicit Antenna(double peak_gain_dbi = 5.0, double vertical_rolloff_db = 8.0)
+      : peak_gain_dbi_(peak_gain_dbi), vertical_rolloff_db_(vertical_rolloff_db) {}
+
+  /// Gain toward `target` from an antenna at `position`, dBi.
+  double gain_dbi(geo::Vec3 position, geo::Vec3 target) const;
+
+  double peak_gain_dbi() const { return peak_gain_dbi_; }
+
+ private:
+  double peak_gain_dbi_;
+  double vertical_rolloff_db_;
+};
+
+}  // namespace skyran::rf

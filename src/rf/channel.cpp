@@ -1,0 +1,44 @@
+#include "rf/channel.hpp"
+
+#include "geo/contract.hpp"
+#include "rf/models.hpp"
+
+namespace skyran::rf {
+
+FsplChannel::FsplChannel(double frequency_hz) : frequency_hz_(frequency_hz) {
+  expects(frequency_hz > 0.0, "FsplChannel: frequency must be positive");
+}
+
+double FsplChannel::path_loss_db(geo::Vec3 a, geo::Vec3 b) const {
+  return fspl_db(a.dist(b), frequency_hz_);
+}
+
+RayTraceChannel::RayTraceChannel(std::shared_ptr<const terrain::Terrain> terrain,
+                                 RayTraceChannelParams params, std::uint64_t seed)
+    : terrain_(std::move(terrain)),
+      params_(params),
+      los_shadowing_(seed ^ 0x105ULL, params.shadowing_sigma_db, params.shadowing_correlation_m),
+      nlos_shadowing_(seed ^ 0x4105ULL, params.shadowing_sigma_db + params.nlos_extra_sigma_db,
+                      params.shadowing_correlation_m * 0.6) {
+  expects(terrain_ != nullptr, "RayTraceChannel: terrain must not be null");
+  expects(params.frequency_hz > 0.0, "RayTraceChannel: frequency must be positive");
+}
+
+double RayTraceChannel::path_loss_db(geo::Vec3 a, geo::Vec3 b) const {
+  const RayObstruction ray = trace_ray(*terrain_, a, b);
+  const double fspl = fspl_db(ray.total_length_m, params_.frequency_hz);
+  double excess = obstruction_loss_db(ray, params_.obstruction);
+  if (params_.use_knife_edge && !ray.line_of_sight()) {
+    // Whichever field is stronger arrives: through-material or diffracted.
+    excess = std::min(excess, knife_edge_loss_db(*terrain_, a, b, params_.frequency_hz));
+  }
+  const double shadow =
+      ray.line_of_sight() ? los_shadowing_.loss_db(a, b) : nlos_shadowing_.loss_db(a, b);
+  return fspl + excess + shadow;
+}
+
+bool RayTraceChannel::line_of_sight(geo::Vec3 a, geo::Vec3 b) const {
+  return trace_ray(*terrain_, a, b).line_of_sight();
+}
+
+}  // namespace skyran::rf

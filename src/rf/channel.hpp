@@ -1,0 +1,81 @@
+// ChannelModel: the path-loss oracle between a UAV position and a UE
+// position. The ground-truth implementation (ray trace + correlated
+// shadowing) plays the role of the physical world in our experiments; the
+// FSPL implementation is the paper's model-based strawman (Fig. 4) and the
+// seed for unexplored REM cells (Sec 3.5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geo/vec.hpp"
+#include "rf/raytrace.hpp"
+#include "rf/shadowing.hpp"
+#include "terrain/terrain.hpp"
+
+namespace skyran::rf {
+
+/// Abstract path-loss model between two points.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Total path loss a->b (transmit minus receive power between isotropic
+  /// antennas), dB. Symmetric.
+  virtual double path_loss_db(geo::Vec3 a, geo::Vec3 b) const = 0;
+
+  /// Carrier frequency, Hz.
+  virtual double frequency_hz() const = 0;
+};
+
+/// Pure free-space model (no terrain knowledge).
+class FsplChannel final : public ChannelModel {
+ public:
+  explicit FsplChannel(double frequency_hz);
+  double path_loss_db(geo::Vec3 a, geo::Vec3 b) const override;
+  double frequency_hz() const override { return frequency_hz_; }
+
+ private:
+  double frequency_hz_;
+};
+
+/// Tuning knobs for the ray-traced ground-truth channel.
+struct RayTraceChannelParams {
+  double frequency_hz = 2.6e9;  ///< LTE band 7 mid-band
+  ObstructionLossParams obstruction{};
+  double shadowing_sigma_db = 4.0;
+  double shadowing_correlation_m = 30.0;
+  /// Extra shadowing applied when the direct ray is obstructed (NLOS links
+  /// fluctuate more than LOS ones).
+  double nlos_extra_sigma_db = 2.5;
+  /// When true, NLOS excess loss is min(penetration, single-knife-edge
+  /// diffraction): in deep shadow the roof-diffracted field dominates the
+  /// through-building one. Off by default (the evaluation is calibrated
+  /// against the capped penetration model); see bench/ablation_diffraction.
+  bool use_knife_edge = false;
+};
+
+/// Terrain-aware ground-truth channel: FSPL + obstruction loss + correlated
+/// shadowing. Deterministic in (terrain, params, seed).
+class RayTraceChannel final : public ChannelModel {
+ public:
+  RayTraceChannel(std::shared_ptr<const terrain::Terrain> terrain,
+                  RayTraceChannelParams params, std::uint64_t seed);
+
+  double path_loss_db(geo::Vec3 a, geo::Vec3 b) const override;
+  double frequency_hz() const override { return params_.frequency_hz; }
+
+  /// True when a->b has an unobstructed direct ray.
+  bool line_of_sight(geo::Vec3 a, geo::Vec3 b) const;
+
+  const terrain::Terrain& terrain() const { return *terrain_; }
+  const RayTraceChannelParams& params() const { return params_; }
+
+ private:
+  std::shared_ptr<const terrain::Terrain> terrain_;
+  RayTraceChannelParams params_;
+  ShadowingField los_shadowing_;
+  ShadowingField nlos_shadowing_;
+};
+
+}  // namespace skyran::rf

@@ -1,0 +1,46 @@
+// Link budget: converts a path loss into SNR/RSS at the receiver. Defaults
+// follow the SkyRAN payload (Sec 4.1): USRP B210 front end with an 18 dB
+// PA/LNA chain and a 5 dBi antenna at the UAV; a handset UE at 23 dBm.
+#pragma once
+
+#include "rf/units.hpp"
+
+namespace skyran::rf {
+
+struct LinkBudget {
+  double tx_power_dbm = 23.0;     ///< UE uplink max power (3GPP class 3)
+  double tx_antenna_gain_dbi = 0.0;
+  double rx_antenna_gain_dbi = 5.0;   ///< UAV LTE antenna
+  double rx_amplifier_gain_db = 18.0; ///< payload LNA chain
+  double bandwidth_hz = 10e6;
+  double noise_figure_db = 7.0;
+  /// Co-channel interference plus implementation margin added to the noise
+  /// floor. Band-7 deployments near macro coverage see a raised effective
+  /// floor; this also folds in EVM/quantization losses of the SDR front end.
+  double interference_margin_db = 13.0;
+
+  /// Received signal strength for a given path loss, dBm (before the LNA;
+  /// the LNA boosts signal and noise alike so it cancels in SNR but is kept
+  /// for reporting raw RSS).
+  double rss_dbm(double path_loss_db) const {
+    return tx_power_dbm + tx_antenna_gain_dbi + rx_antenna_gain_dbi - path_loss_db;
+  }
+
+  /// Effective noise-plus-interference floor, dBm.
+  double effective_floor_dbm() const {
+    return noise_floor_dbm(bandwidth_hz, noise_figure_db) + interference_margin_db;
+  }
+
+  /// Signal-to-noise(-plus-interference) ratio for a given path loss, dB.
+  double snr_db(double path_loss_db) const {
+    return rss_dbm(path_loss_db) - effective_floor_dbm();
+  }
+
+  /// Path loss that would produce the given SNR, dB (inverse of snr_db).
+  double path_loss_for_snr_db(double snr_db_value) const {
+    return tx_power_dbm + tx_antenna_gain_dbi + rx_antenna_gain_dbi -
+           effective_floor_dbm() - snr_db_value;
+  }
+};
+
+}  // namespace skyran::rf

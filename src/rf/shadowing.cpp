@@ -1,0 +1,23 @@
+#include "rf/shadowing.hpp"
+
+#include "geo/contract.hpp"
+
+namespace skyran::rf {
+
+ShadowingField::ShadowingField(std::uint64_t seed, double sigma_db, double correlation_m)
+    : noise_(seed, correlation_m, 4), sigma_db_(sigma_db) {
+  expects(sigma_db >= 0.0, "ShadowingField: sigma must be non-negative");
+}
+
+double ShadowingField::loss_db(geo::Vec3 a, geo::Vec3 b) const {
+  // Key the field on the link midpoint plus a mild dependence on the
+  // endpoint separation so that links sharing a midpoint but differing in
+  // geometry decorrelate slowly. The fractal sample is approximately
+  // zero-mean with unit-ish spread; scale by sigma.
+  const geo::Vec2 mid = ((a + b) * 0.5).xy();
+  const double stretch = (b - a).norm() * 0.05;
+  const geo::Vec2 key{mid.x + stretch, mid.y - stretch};
+  return 1.8 * sigma_db_ * noise_.sample(key);
+}
+
+}  // namespace skyran::rf

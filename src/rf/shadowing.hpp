@@ -1,0 +1,32 @@
+// Spatially-correlated log-normal shadow fading. Real REMs exhibit smooth
+// dB-scale fluctuation beyond deterministic obstruction loss; we synthesize
+// it with a fractal noise field over the midpoint of the link so that nearby
+// UAV positions see correlated shadowing (which is what makes gradient-guided
+// probing meaningful).
+#pragma once
+
+#include <cstdint>
+
+#include "geo/noise.hpp"
+#include "geo/vec.hpp"
+
+namespace skyran::rf {
+
+class ShadowingField {
+ public:
+  /// `sigma_db`: standard deviation of the shadowing term.
+  /// `correlation_m`: decorrelation length of the field.
+  ShadowingField(std::uint64_t seed, double sigma_db, double correlation_m);
+
+  /// Shadowing loss (may be negative = constructive) for the link a->b, dB.
+  /// Deterministic in (seed, a, b).
+  double loss_db(geo::Vec3 a, geo::Vec3 b) const;
+
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  geo::ValueNoise noise_;
+  double sigma_db_;
+};
+
+}  // namespace skyran::rf

@@ -1,0 +1,41 @@
+// Ground-truth evaluation: exhaustive REMs (what the paper collects with
+// dedicated zigzag flights, Fig. 15) and the true optimal UAV position they
+// imply. Every "relative throughput" number in the benches divides by the
+// optimum computed here.
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "rem/placement.hpp"
+#include "sim/world.hpp"
+
+namespace skyran::sim {
+
+/// Exhaustive ground-truth SNR map for one UE at `altitude_m`, sampled at
+/// `cell_size_m` (which may be coarser than the world raster for speed).
+geo::Grid2D<double> ground_truth_rem(const World& world, geo::Vec3 ue, double altitude_m,
+                                     double cell_size_m);
+
+struct GroundTruth {
+  std::vector<geo::Grid2D<double>> per_ue_rems;
+  /// The paper's "true optimal UAV operating point" (Sec 4.2): the placement
+  /// the scheme's own objective (max-min SNR) would pick given PERFECT REMs.
+  /// Relative throughput divides by the mean throughput here, so it measures
+  /// how well a scheme's estimated REMs reproduce the perfect-REM placement.
+  rem::Placement optimal;
+  double optimal_mean_throughput_bps = 0.0;  ///< mean throughput at `optimal`
+  /// For reference (Fig. 1): the feasible cell maximizing mean throughput.
+  geo::Vec2 max_mean_position;
+  double max_mean_throughput_bps = 0.0;
+  double altitude_m = 0.0;
+};
+
+/// Compute ground truth for all current UEs.
+GroundTruth compute_ground_truth(const World& world, double altitude_m, double cell_size_m,
+                                 rem::PlacementObjective objective = rem::PlacementObjective::kMaxMin);
+
+/// Mean-per-UE throughput at `position` divided by the ground-truth optimum.
+double relative_throughput(const World& world, const GroundTruth& truth, geo::Vec2 position);
+
+}  // namespace skyran::sim

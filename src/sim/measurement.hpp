@@ -1,0 +1,35 @@
+// Measurement-flight execution (paper Step 7): fly a plan while the eNodeB
+// PHY reports per-UE SNR at 100 Hz; each report lands in the REM cell under
+// the UAV. Reports carry fast-fading jitter on top of the ground-truth
+// channel, so REM cell averages converge with dwell time like real ones.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "rem/rem.hpp"
+#include "sim/world.hpp"
+#include "uav/flight.hpp"
+
+namespace skyran::sim {
+
+struct MeasurementConfig {
+  double report_rate_hz = 100.0;   ///< PHY SNR report rate (Sec 3.3.3)
+  double fading_sigma_db = 1.8;    ///< per-report fast-fading jitter
+};
+
+/// Fly `plan` and deposit SNR reports into each UE's REM (REM i belongs to
+/// world UE i). Returns the number of reports per UE.
+std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& plan,
+                                   std::span<rem::Rem> rems, const MeasurementConfig& config,
+                                   std::mt19937_64& rng);
+
+/// Same, but for an explicit UE subset (REM i belongs to `ues[i]`); used by
+/// multi-UAV operation where each UAV probes only its own cluster of UEs.
+std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& plan,
+                                   std::span<rem::Rem> rems,
+                                   std::span<const geo::Vec3> ues,
+                                   const MeasurementConfig& config, std::mt19937_64& rng);
+
+}  // namespace skyran::sim

@@ -1,0 +1,78 @@
+// TTI-level LTE service simulation: what the UEs actually experience while
+// the UAV serves (hovering) or probes (moving). The eNodeB schedules on the
+// SNR it knew at the last CQI report; when the UAV moves, that knowledge is
+// stale - overshooting MCS costs HARQ failures, undershooting wastes
+// capacity - which is exactly why the paper limits probing time (Sec 2.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "lte/scheduler.hpp"
+#include "sim/world.hpp"
+#include "uav/flight.hpp"
+
+namespace skyran::sim {
+
+/// Per-UE downlink traffic.
+struct Traffic {
+  enum class Kind {
+    kFullBuffer,  ///< always backlogged
+    kCbr,         ///< constant-bit-rate arrivals (rate_bps)
+    kPoisson,     ///< Poisson packet arrivals (rate_bps, packet_bits)
+  };
+  Kind kind = Kind::kFullBuffer;
+  double rate_bps = 2e6;
+  double packet_bits = 12000.0;  ///< 1500 B packets
+};
+
+struct ServiceConfig {
+  lte::SchedulerPolicy policy = lte::SchedulerPolicy::kRoundRobin;
+  double duration_s = 4.0;
+  /// CQI reporting period and application delay: the scheduler always works
+  /// with channel state this old.
+  double cqi_period_ms = 5.0;
+  /// Fast-fading magnitude. The fading process is AR(1) with a coherence
+  /// time set by motion: lambda/(2*speed) when flying (classic Doppler
+  /// decorrelation - ~7 ms at 30 km/h and 2.6 GHz) and
+  /// `hover_coherence_s` when hovering. This is precisely why probing
+  /// motion breaks the CQI loop (Sec 2.5).
+  double fading_sigma_db = 1.8;
+  double hover_coherence_s = 0.2;
+  /// An MCS chosen for `margin_db` more SNR than the channel truly has
+  /// fails (HARQ loss). 0 = exact threshold.
+  double bler_margin_db = 0.0;
+};
+
+struct UeServiceStats {
+  std::uint32_t rnti = 0;
+  double offered_bits = 0.0;
+  double served_bits = 0.0;
+  double throughput_bps = 0.0;
+  double harq_failure_rate = 0.0;  ///< failed TTIs / scheduled TTIs
+  double mean_queue_delay_ms = 0.0;  ///< CBR/Poisson only; 0 for full buffer
+  double mean_backlog_bits = 0.0;
+};
+
+struct ServiceReport {
+  std::vector<UeServiceStats> per_ue;
+  double aggregate_throughput_bps = 0.0;
+  double mean_cqi_staleness_db = 0.0;  ///< mean |true - reported| SNR gap
+  int ttis = 0;
+};
+
+/// Serve the world's UEs for `config.duration_s` from a hovering UAV.
+ServiceReport run_service_hovering(const World& world, geo::Vec3 uav_position,
+                                   const std::vector<Traffic>& traffic,
+                                   const ServiceConfig& config, std::mt19937_64& rng);
+
+/// Serve while flying `plan` (service continues during a measurement
+/// flight); the plan's duration bounds the simulated time.
+ServiceReport run_service_flying(const World& world, const uav::FlightPlan& plan,
+                                 const std::vector<Traffic>& traffic,
+                                 const ServiceConfig& config, std::mt19937_64& rng);
+
+}  // namespace skyran::sim

@@ -1,0 +1,36 @@
+// Fixed-width table printing for bench output: every figure-reproduction
+// binary prints the same rows/series the paper reports through this helper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace skyran::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; cells beyond the header count are dropped, missing cells
+  /// print empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines),
+  /// for downstream plotting.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Figure 20: ... ==").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace skyran::sim

@@ -1,0 +1,49 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/contract.hpp"
+
+namespace skyran::sim {
+
+namespace {
+std::shared_ptr<const terrain::Terrain> build_terrain(const WorldConfig& config) {
+  return std::make_shared<const terrain::Terrain>(
+      terrain::make_terrain(config.terrain_kind, config.seed, config.cell_size_m));
+}
+}  // namespace
+
+World::World(const WorldConfig& config) : World(build_terrain(config), config) {}
+
+World::World(std::shared_ptr<const terrain::Terrain> terrain, const WorldConfig& config)
+    : terrain_(std::move(terrain)),
+      channel_(terrain_, config.channel, config.seed ^ 0xc4a1ULL),
+      budget_(config.budget),
+      carrier_(config.carrier) {
+  expects(terrain_ != nullptr, "World: terrain must not be null");
+}
+
+double World::snr_db(geo::Vec3 uav, geo::Vec3 ue) const {
+  return budget_.snr_db(channel_.path_loss_db(uav, ue));
+}
+
+double World::link_throughput_bps(geo::Vec3 uav, geo::Vec3 ue) const {
+  return lte::throughput_bps(snr_db(uav, ue), carrier_);
+}
+
+double World::mean_throughput_bps(geo::Vec3 uav) const {
+  expects(!ues_.empty(), "World::mean_throughput_bps: no UEs deployed");
+  double sum = 0.0;
+  for (const geo::Vec3& ue : ues_) sum += link_throughput_bps(uav, ue);
+  return sum / static_cast<double>(ues_.size());
+}
+
+double World::min_snr_db(geo::Vec3 uav) const {
+  expects(!ues_.empty(), "World::min_snr_db: no UEs deployed");
+  double best = std::numeric_limits<double>::infinity();
+  for (const geo::Vec3& ue : ues_) best = std::min(best, snr_db(uav, ue));
+  return best;
+}
+
+}  // namespace skyran::sim

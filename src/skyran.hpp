@@ -1,0 +1,24 @@
+// Umbrella header: the SkyRAN public API surface. Downstream users can
+// include this one header and link against the `skyran_all` CMake target.
+#pragma once
+
+#include "core/config.hpp"        // SkyRanConfig, LocalizationMode
+#include "core/multi_uav.hpp"     // MultiSkyRan (fleet operation)
+#include "core/skyran.hpp"        // SkyRan: the epoch state machine
+#include "core/timeline.hpp"      // continuous-time mission runner
+#include "localization/localizer.hpp"  // standalone UE localization
+#include "lte/backhaul.hpp"       // backhaul link models
+#include "mobility/deployment.hpp"     // UE deployment generators
+#include "mobility/model.hpp"     // mobility models
+#include "rem/kriging.hpp"        // ordinary-kriging interpolation
+#include "rem/layered.hpp"        // 3-D (layered) REMs
+#include "rem/placement.hpp"      // placement objectives & altitude search
+#include "rem/rem.hpp"            // radio environment maps
+#include "rem/store.hpp"          // REM store with positional reuse
+#include "sim/baselines.hpp"      // Uniform / Centroid / Random schemes
+#include "sim/ground_truth.hpp"   // evaluation against perfect REMs
+#include "sim/service.hpp"        // TTI-level service simulation
+#include "sim/world.hpp"          // the simulated physical world
+#include "terrain/io.hpp"         // terrain serialization (incl. ESRI .asc)
+#include "terrain/lidar.hpp"      // synthetic LiDAR pipeline
+#include "terrain/synth.hpp"      // procedural terrains

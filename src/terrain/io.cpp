@@ -1,0 +1,207 @@
+#include "terrain/io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace skyran::terrain {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'Y', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_terrain: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void save_terrain(const Terrain& t, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  const auto& grid = t.cells();
+  write_pod(os, grid.area().min.x);
+  write_pod(os, grid.area().min.y);
+  write_pod(os, grid.area().max.x);
+  write_pod(os, grid.area().max.y);
+  write_pod(os, grid.cell_size());
+  write_pod(os, static_cast<std::uint32_t>(grid.nx()));
+  write_pod(os, static_cast<std::uint32_t>(grid.ny()));
+  for (const TerrainCell& c : grid.raw()) {
+    write_pod(os, c.ground);
+    write_pod(os, c.clutter_height);
+    write_pod(os, static_cast<std::uint8_t>(c.clutter));
+  }
+  if (!os) throw std::runtime_error("save_terrain: write failed");
+}
+
+Terrain load_terrain(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_terrain: bad magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) throw std::runtime_error("load_terrain: unsupported version");
+  const double min_x = read_pod<double>(is);
+  const double min_y = read_pod<double>(is);
+  const double max_x = read_pod<double>(is);
+  const double max_y = read_pod<double>(is);
+  const double cell_size = read_pod<double>(is);
+  const auto nx = read_pod<std::uint32_t>(is);
+  const auto ny = read_pod<std::uint32_t>(is);
+
+  Terrain t(geo::Rect{{min_x, min_y}, {max_x, max_y}}, cell_size);
+  auto& grid = t.cells();
+  if (static_cast<std::uint32_t>(grid.nx()) != nx || static_cast<std::uint32_t>(grid.ny()) != ny)
+    throw std::runtime_error("load_terrain: inconsistent raster dimensions");
+  for (TerrainCell& c : grid.raw()) {
+    c.ground = read_pod<float>(is);
+    c.clutter_height = read_pod<float>(is);
+    const auto cls = read_pod<std::uint8_t>(is);
+    if (cls > static_cast<std::uint8_t>(Clutter::kWater))
+      throw std::runtime_error("load_terrain: bad clutter class");
+    c.clutter = static_cast<Clutter>(cls);
+  }
+  return t;
+}
+
+namespace {
+
+/// Emit one ESRI ASCII grid; `value` extracts the per-cell height.
+template <typename F>
+void save_esri(const Terrain& t, std::ostream& os, F&& value) {
+  const auto& grid = t.cells();
+  os << "ncols " << grid.nx() << "\n"
+     << "nrows " << grid.ny() << "\n"
+     << "xllcorner " << grid.area().min.x << "\n"
+     << "yllcorner " << grid.area().min.y << "\n"
+     << "cellsize " << grid.cell_size() << "\n"
+     << "NODATA_value -9999\n";
+  // ESRI rows run north to south.
+  for (int iy = grid.ny() - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < grid.nx(); ++ix) {
+      if (ix > 0) os << ' ';
+      os << value(grid.at(ix, iy));
+    }
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("save_esri: write failed");
+}
+
+struct EsriGrid {
+  geo::Rect area;
+  double cell_size = 0.0;
+  int ncols = 0;
+  int nrows = 0;
+  std::vector<double> values;  ///< row-major, north row first (file order)
+};
+
+EsriGrid load_esri(std::istream& is) {
+  EsriGrid g;
+  double xll = 0.0;
+  double yll = 0.0;
+  double nodata = -9999.0;
+  for (int line = 0; line < 6; ++line) {
+    std::string key;
+    if (!(is >> key)) throw std::runtime_error("load_esri: truncated header");
+    double v = 0.0;
+    if (!(is >> v)) throw std::runtime_error("load_esri: bad header value");
+    for (char& c : key) c = static_cast<char>(std::tolower(c));
+    if (key == "ncols")
+      g.ncols = static_cast<int>(v);
+    else if (key == "nrows")
+      g.nrows = static_cast<int>(v);
+    else if (key == "xllcorner")
+      xll = v;
+    else if (key == "yllcorner")
+      yll = v;
+    else if (key == "cellsize")
+      g.cell_size = v;
+    else if (key == "nodata_value")
+      nodata = v;
+    else
+      throw std::runtime_error("load_esri: unknown header key " + key);
+  }
+  if (g.ncols <= 0 || g.nrows <= 0 || g.cell_size <= 0.0)
+    throw std::runtime_error("load_esri: invalid dimensions");
+  g.area = geo::Rect{{xll, yll},
+                     {xll + g.ncols * g.cell_size, yll + g.nrows * g.cell_size}};
+  g.values.resize(static_cast<std::size_t>(g.ncols) * static_cast<std::size_t>(g.nrows));
+  for (double& v : g.values) {
+    if (!(is >> v)) throw std::runtime_error("load_esri: truncated data");
+    if (v == nodata) v = 0.0;
+  }
+  return g;
+}
+
+}  // namespace
+
+void save_esri_dtm(const Terrain& t, std::ostream& os) {
+  save_esri(t, os, [](const TerrainCell& c) { return c.ground; });
+}
+
+void save_esri_dsm(const Terrain& t, std::ostream& os) {
+  save_esri(t, os,
+            [](const TerrainCell& c) { return c.ground + c.clutter_height; });
+}
+
+Terrain load_esri_pair(std::istream& dtm_is, std::istream& dsm_is, Clutter default_clutter,
+                       double clutter_threshold_m) {
+  const EsriGrid dtm = load_esri(dtm_is);
+  const EsriGrid dsm = load_esri(dsm_is);
+  if (dtm.ncols != dsm.ncols || dtm.nrows != dsm.nrows ||
+      std::abs(dtm.cell_size - dsm.cell_size) > 1e-9)
+    throw std::runtime_error("load_esri_pair: DTM and DSM grids do not match");
+
+  Terrain t(dtm.area, dtm.cell_size);
+  auto& grid = t.cells();
+  if (grid.nx() != dtm.ncols || grid.ny() != dtm.nrows)
+    throw std::runtime_error("load_esri_pair: raster dimensions inconsistent");
+  for (int iy = 0; iy < grid.ny(); ++iy) {
+    for (int ix = 0; ix < grid.nx(); ++ix) {
+      // File order is north-first; our grid is south-first.
+      const std::size_t file_row = static_cast<std::size_t>(grid.ny() - 1 - iy);
+      const std::size_t idx = file_row * static_cast<std::size_t>(dtm.ncols) +
+                              static_cast<std::size_t>(ix);
+      TerrainCell& c = grid.at(ix, iy);
+      c.ground = static_cast<float>(dtm.values[idx]);
+      const double clutter = dsm.values[idx] - dtm.values[idx];
+      if (clutter > clutter_threshold_m) {
+        c.clutter = default_clutter;
+        c.clutter_height = static_cast<float>(clutter);
+      }
+    }
+  }
+  return t;
+}
+
+void save_terrain_file(const Terrain& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_terrain_file: cannot open " + path);
+  save_terrain(t, os);
+}
+
+Terrain load_terrain_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_terrain_file: cannot open " + path);
+  return load_terrain(is);
+}
+
+}  // namespace skyran::terrain

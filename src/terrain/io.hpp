@@ -1,0 +1,35 @@
+// Terrain serialization: a simple versioned binary raster format so that
+// generated terrains (or externally converted LiDAR rasters) can be cached
+// and shared between experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "terrain/terrain.hpp"
+
+namespace skyran::terrain {
+
+/// Write `t` to `os` in the SKYT binary raster format.
+void save_terrain(const Terrain& t, std::ostream& os);
+
+/// Read a terrain previously written by save_terrain. Throws
+/// std::runtime_error on malformed input.
+Terrain load_terrain(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_terrain_file(const Terrain& t, const std::string& path);
+Terrain load_terrain_file(const std::string& path);
+
+/// ESRI ASCII grid (.asc) interchange - the format USGS DEM/DSM rasters are
+/// commonly distributed in. A terrain needs two co-registered grids: a DTM
+/// (bare ground) and a DSM (top of canopy/roofs). Heights above the ground
+/// by more than `clutter_threshold_m` become clutter of `default_clutter`
+/// (ASCII grids carry no classification).
+void save_esri_dtm(const Terrain& t, std::ostream& os);
+void save_esri_dsm(const Terrain& t, std::ostream& os);
+Terrain load_esri_pair(std::istream& dtm, std::istream& dsm,
+                       Clutter default_clutter = Clutter::kBuilding,
+                       double clutter_threshold_m = 2.0);
+
+}  // namespace skyran::terrain

@@ -1,0 +1,128 @@
+#include "terrain/lidar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <random>
+
+#include "geo/contract.hpp"
+#include "geo/grid.hpp"
+
+namespace skyran::terrain {
+
+PointCloud scan_terrain(const Terrain& t, const LidarScanConfig& cfg, std::uint64_t seed) {
+  expects(cfg.pulse_density > 0.0, "scan_terrain: pulse density must be positive");
+  expects(cfg.dropout_rate >= 0.0 && cfg.dropout_rate < 1.0,
+          "scan_terrain: dropout rate in [0,1)");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(t.area().min.x, t.area().max.x);
+  std::uniform_real_distribution<double> uy(t.area().min.y, t.area().max.y);
+  std::normal_distribution<double> range_noise(0.0, cfg.range_noise_m);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  const auto n_pulses = static_cast<std::size_t>(t.area().area() * cfg.pulse_density);
+  PointCloud cloud;
+  cloud.extent = t.area();
+  cloud.points.reserve(n_pulses);
+  for (std::size_t i = 0; i < n_pulses; ++i) {
+    if (u01(rng) < cfg.dropout_rate) continue;
+    const geo::Vec2 p{ux(rng), uy(rng)};
+    const terrain::Clutter cls = t.clutter_at(p);
+    // Vegetation is porous: a third of pulses reach the ground (the classic
+    // "last return"); buildings are opaque, only roofs return.
+    const bool ground_return = cls == Clutter::kFoliage && u01(rng) < 0.35;
+    const double z =
+        (ground_return ? t.ground_height(p) : t.surface_height(p)) + range_noise(rng);
+    cloud.points.push_back({geo::Vec3{p, z}, ground_return ? Clutter::kOpen : cls});
+  }
+  return cloud;
+}
+
+Terrain rasterize(const PointCloud& cloud, double cell_size) {
+  expects(!cloud.points.empty(), "rasterize: empty point cloud");
+  Terrain out(cloud.extent, cell_size);
+  auto& grid = out.cells();
+
+  struct CellAccum {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    std::array<int, 4> class_votes{};
+    int n = 0;
+  };
+  geo::Grid2D<CellAccum> accum(cloud.extent, cell_size);
+
+  for (const LidarPoint& pt : cloud.points) {
+    const geo::Vec2 xy = cloud.extent.clamp(pt.position.xy());
+    CellAccum& a = accum.value_at(xy);
+    a.lo = std::min(a.lo, pt.position.z);
+    a.hi = std::max(a.hi, pt.position.z);
+    ++a.class_votes[static_cast<std::size_t>(pt.classification)];
+    ++a.n;
+  }
+
+  // First pass: per-cell class vote and surface height. Ground elevation is
+  // only known directly where ground-classified returns exist (open cells
+  // and vegetation last-returns); building roofs hide the ground beneath.
+  geo::Grid2D<std::uint8_t> has_ground(cloud.extent, cell_size, std::uint8_t{0});
+  geo::Grid2D<std::uint8_t> has_data(cloud.extent, cell_size, std::uint8_t{0});
+  grid.for_each([&](geo::CellIndex c, TerrainCell& cell) {
+    const CellAccum& a = accum.at(c);
+    if (a.n == 0) return;
+    has_data.at(c) = 1;
+    const auto best =
+        std::max_element(a.class_votes.begin(), a.class_votes.end()) - a.class_votes.begin();
+    cell.clutter = static_cast<Clutter>(best);
+    if (cell.clutter == Clutter::kOpen || cell.clutter == Clutter::kWater) {
+      cell.ground = static_cast<float>(a.lo);
+      cell.clutter_height = 0.0F;
+      cell.clutter = static_cast<Clutter>(best);
+      has_ground.at(c) = 1;
+    } else if (cell.clutter == Clutter::kFoliage && a.class_votes[0] > 0) {
+      // Mixed canopy + ground returns: both surfaces observed directly.
+      cell.ground = static_cast<float>(a.lo);
+      cell.clutter_height = static_cast<float>(std::max(0.0, a.hi - a.lo));
+      has_ground.at(c) = 1;
+    } else {
+      // Opaque clutter: remember the surface; ground comes from neighbors.
+      cell.clutter_height = static_cast<float>(a.hi);  // temporarily absolute
+    }
+  });
+
+  // Second pass: BFS ground elevations outward from ground-observed cells,
+  // then convert opaque cells' absolute surface into height-above-ground.
+  std::deque<geo::CellIndex> frontier;
+  has_ground.for_each([&](geo::CellIndex c, std::uint8_t& f) {
+    if (f) frontier.push_back(c);
+  });
+  expects(!frontier.empty(), "rasterize: no ground-classified return anywhere");
+  while (!frontier.empty()) {
+    const geo::CellIndex c = frontier.front();
+    frontier.pop_front();
+    const std::array<geo::CellIndex, 4> neighbors{
+        geo::CellIndex{c.ix + 1, c.iy}, geo::CellIndex{c.ix - 1, c.iy},
+        geo::CellIndex{c.ix, c.iy + 1}, geo::CellIndex{c.ix, c.iy - 1}};
+    for (geo::CellIndex n : neighbors) {
+      if (!has_ground.in_bounds(n) || has_ground.at(n)) continue;
+      const TerrainCell& src = grid.at(c);
+      TerrainCell& dst = grid.at(n);
+      if (has_data.at(n)) {
+        // Opaque cell: absolute surface was stashed in clutter_height.
+        const double surface = dst.clutter_height;
+        dst.ground = src.ground;
+        dst.clutter_height = static_cast<float>(std::max(0.0, surface - src.ground));
+        if (dst.clutter_height < 1.0F) {
+          dst.clutter = Clutter::kOpen;
+          dst.clutter_height = 0.0F;
+        }
+      } else {
+        dst = src;  // void cell: copy the neighbor wholesale
+      }
+      has_ground.at(n) = 1;
+      frontier.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace skyran::terrain

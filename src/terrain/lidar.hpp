@@ -1,0 +1,45 @@
+// Synthetic LiDAR pipeline. The paper pre-processes USGS LiDAR point clouds
+// into a 1 m raster (Sec 5.1). We provide the inverse pair: sample a point
+// cloud from a terrain (emulating an aerial LiDAR scan, with per-return range
+// noise and dropouts) and rasterize a point cloud back into a Terrain. The
+// round trip exercises the same pre-processing path the paper relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/rect.hpp"
+#include "geo/vec.hpp"
+#include "terrain/terrain.hpp"
+
+namespace skyran::terrain {
+
+/// One LiDAR return.
+struct LidarPoint {
+  geo::Vec3 position;  ///< x,y in meters; z = surface height above datum
+  Clutter classification = Clutter::kOpen;  ///< LAS-style point class
+};
+
+/// A collection of LiDAR returns over a known extent.
+struct PointCloud {
+  geo::Rect extent;
+  std::vector<LidarPoint> points;
+};
+
+/// Parameters of the simulated aerial scan.
+struct LidarScanConfig {
+  double pulse_density = 4.0;   ///< returns per square meter
+  double range_noise_m = 0.08;  ///< vertical (range) noise sigma
+  double dropout_rate = 0.02;   ///< fraction of pulses lost
+};
+
+/// Simulate an aerial LiDAR scan over `t`.
+PointCloud scan_terrain(const Terrain& t, const LidarScanConfig& cfg, std::uint64_t seed);
+
+/// Rasterize a point cloud to a Terrain at `cell_size` resolution.
+/// Per cell: ground = lowest return, surface = highest return, clutter class
+/// = majority class of above-ground returns. Cells with no returns are filled
+/// from the nearest populated neighbor.
+Terrain rasterize(const PointCloud& cloud, double cell_size);
+
+}  // namespace skyran::terrain

@@ -1,0 +1,49 @@
+// Procedural terrain generators standing in for the paper's real-world sites:
+// the 300 m x 300 m NEC campus testbed (Sec 4.2) and the LiDAR-derived RURAL,
+// NYC and LARGE scale-up terrains (Sec 5.1). Each generator is deterministic
+// in its seed and reproduces the qualitative obstruction structure of its
+// namesake (open lots vs. office building vs. forest; Manhattan street grid;
+// semi-urban sprawl).
+#pragma once
+
+#include <cstdint>
+
+#include "terrain/terrain.hpp"
+
+namespace skyran::terrain {
+
+/// Named terrain archetypes used across the evaluation.
+enum class TerrainKind {
+  kFlat,    ///< featureless plane (unit-test baseline)
+  kCampus,  ///< 300x300 m testbed: office building, parking lot, forest
+  kRural,   ///< 250x250 m: open space, scattered trees, few small buildings
+  kNyc,     ///< 250x250 m: dense Manhattan-style blocks, tall buildings
+  kLarge,   ///< 1000x1000 m: semi-urban township
+};
+
+const char* to_string(TerrainKind k);
+
+/// Side length in meters that the paper associates with each archetype.
+double default_extent(TerrainKind k);
+
+/// Build a terrain of the given archetype. `cell_size` defaults to the
+/// paper's 1 m raster; coarser cells are supported for large sweeps.
+Terrain make_terrain(TerrainKind kind, std::uint64_t seed, double cell_size = 1.0);
+
+/// Flat open ground of the given side length.
+Terrain make_flat(double extent, double cell_size = 1.0);
+
+/// Campus testbed: a big office building near the center, an open parking
+/// lot to the west, and a forested strip (~35 m trees, Sec 4.3) to the east.
+Terrain make_campus(std::uint64_t seed, double cell_size = 1.0, double extent = 300.0);
+
+/// Mostly open rural area with tree stands and a few one/two-story buildings.
+Terrain make_rural(std::uint64_t seed, double cell_size = 1.0, double extent = 250.0);
+
+/// Downtown-Manhattan-style dense urban grid with high-rise blocks.
+Terrain make_nyc(std::uint64_t seed, double cell_size = 1.0, double extent = 250.0);
+
+/// Semi-urban township: residential streets, commercial boxes, parks.
+Terrain make_large(std::uint64_t seed, double cell_size = 1.0, double extent = 1000.0);
+
+}  // namespace skyran::terrain

@@ -1,0 +1,74 @@
+// Terrain substrate. The paper evaluates SkyRAN over a real campus and, for
+// its scale-up study, over USGS LiDAR rasters pre-processed to 1 m spatial
+// granularity (Sec 5.1). We model terrain as two co-registered rasters:
+// ground elevation and clutter (buildings / foliage) with per-cell heights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/grid.hpp"
+#include "geo/rect.hpp"
+#include "geo/vec.hpp"
+
+namespace skyran::terrain {
+
+/// What occupies the space above the ground surface in a cell.
+enum class Clutter : std::uint8_t {
+  kOpen = 0,      ///< nothing above ground (roads, lots, fields)
+  kBuilding = 1,  ///< man-made structure; strong RF obstruction
+  kFoliage = 2,   ///< trees / vegetation; moderate RF obstruction
+  kWater = 3,     ///< open water; no vertical obstruction
+};
+
+/// One terrain raster cell.
+struct TerrainCell {
+  float ground = 0.0F;          ///< ground elevation above the area datum, m
+  float clutter_height = 0.0F;  ///< height of clutter above ground, m
+  Clutter clutter = Clutter::kOpen;
+};
+
+/// A rectangular patch of the world at fixed raster resolution.
+class Terrain {
+ public:
+  Terrain() = default;
+
+  /// Flat, open terrain covering `area` at `cell_size` meter resolution.
+  Terrain(geo::Rect area, double cell_size);
+
+  const geo::Grid2D<TerrainCell>& cells() const { return cells_; }
+  geo::Grid2D<TerrainCell>& cells() { return cells_; }
+  const geo::Rect& area() const { return cells_.area(); }
+  double cell_size() const { return cells_.cell_size(); }
+
+  /// Ground elevation at `p` (nearest cell), meters above datum.
+  double ground_height(geo::Vec2 p) const;
+
+  /// Top of the surface at `p`: ground plus any clutter, meters above datum.
+  double surface_height(geo::Vec2 p) const;
+
+  /// Clutter class at `p`.
+  Clutter clutter_at(geo::Vec2 p) const;
+
+  /// True when a point at altitude `z` (above datum) is inside clutter or
+  /// below ground at `p`.
+  bool is_obstructed(geo::Vec2 p, double z) const;
+
+  /// Highest surface over the whole patch, meters above datum.
+  double max_surface_height() const;
+
+  /// Fraction of cells carrying the given clutter class.
+  double clutter_fraction(Clutter c) const;
+
+ private:
+  geo::Grid2D<TerrainCell> cells_;
+};
+
+/// Per-material RF penetration loss, dB per meter traversed inside the
+/// obstruction. Values follow common LTE link-budget practice: concrete
+/// structures attenuate far more per meter than foliage.
+double penetration_loss_db_per_meter(Clutter c);
+
+const char* to_string(Clutter c);
+
+}  // namespace skyran::terrain

@@ -1,0 +1,31 @@
+#include "uav/battery.hpp"
+
+#include <algorithm>
+
+#include "geo/contract.hpp"
+
+namespace skyran::uav {
+
+Battery::Battery(BatteryParams params) : params_(params), remaining_wh_(params.capacity_wh) {
+  expects(params.capacity_wh > 0.0, "Battery: capacity must be positive");
+  expects(params.hover_power_w > 0.0, "Battery: hover power must be positive");
+  expects(params.forward_power_w_per_mps >= 0.0, "Battery: forward power must be >= 0");
+}
+
+double Battery::power_w(double airspeed_mps) const {
+  expects(airspeed_mps >= 0.0, "Battery::power_w: airspeed must be >= 0");
+  return params_.hover_power_w + params_.forward_power_w_per_mps * airspeed_mps;
+}
+
+void Battery::drain(double duration_s, double airspeed_mps) {
+  expects(duration_s >= 0.0, "Battery::drain: duration must be >= 0");
+  remaining_wh_ = std::max(0.0, remaining_wh_ - power_w(airspeed_mps) * duration_s / 3600.0);
+}
+
+double Battery::remaining_fraction() const { return remaining_wh_ / params_.capacity_wh; }
+
+double Battery::hover_endurance_s() const {
+  return remaining_wh_ * 3600.0 / params_.hover_power_w;
+}
+
+}  // namespace skyran::uav

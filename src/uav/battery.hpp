@@ -1,0 +1,36 @@
+// UAV energy model. The paper notes the M600Pro draws more power in forward
+// motion than hovering, which is why measurement-flight length is a cost
+// (Sec 2.5). We model a base hover draw plus a term growing with airspeed.
+#pragma once
+
+namespace skyran::uav {
+
+struct BatteryParams {
+  double capacity_wh = 600.0;          ///< six TB47S packs, usable energy
+  double hover_power_w = 1200.0;       ///< M600Pro-class hexacopter hover draw
+  double forward_power_w_per_mps = 40.0;  ///< extra draw per m/s of airspeed
+};
+
+class Battery {
+ public:
+  explicit Battery(BatteryParams params = {});
+
+  /// Consume energy for `duration_s` seconds at `airspeed_mps`.
+  void drain(double duration_s, double airspeed_mps);
+
+  double remaining_wh() const { return remaining_wh_; }
+  double remaining_fraction() const;
+  bool depleted() const { return remaining_wh_ <= 0.0; }
+
+  /// Hover endurance remaining at current charge, seconds.
+  double hover_endurance_s() const;
+
+  /// Power draw at a given airspeed, watts.
+  double power_w(double airspeed_mps) const;
+
+ private:
+  BatteryParams params_;
+  double remaining_wh_;
+};
+
+}  // namespace skyran::uav

@@ -1,0 +1,64 @@
+#include "uav/flight.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/contract.hpp"
+
+namespace skyran::uav {
+
+double FlightPlan::length_m() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i)
+    total += waypoints[i].dist(waypoints[i - 1]);
+  return total;
+}
+
+geo::Path FlightPlan::ground_track() const {
+  std::vector<geo::Vec2> pts;
+  pts.reserve(waypoints.size());
+  for (const geo::Vec3& w : waypoints) pts.push_back(w.xy());
+  return geo::Path(std::move(pts));
+}
+
+FlightPlan FlightPlan::at_altitude(const geo::Path& path, double altitude_m, double speed_mps) {
+  FlightPlan plan;
+  plan.speed_mps = speed_mps;
+  plan.waypoints.reserve(path.size());
+  for (geo::Vec2 p : path.points()) plan.waypoints.emplace_back(p, altitude_m);
+  return plan;
+}
+
+geo::Vec3 plan_point_at(const FlightPlan& plan, double s) {
+  expects(!plan.waypoints.empty(), "plan_point_at: empty plan");
+  if (s <= 0.0) return plan.waypoints.front();
+  for (std::size_t i = 1; i < plan.waypoints.size(); ++i) {
+    const double seg = plan.waypoints[i].dist(plan.waypoints[i - 1]);
+    if (s <= seg) {
+      if (seg <= 0.0) return plan.waypoints[i];
+      return plan.waypoints[i - 1] + (plan.waypoints[i] - plan.waypoints[i - 1]) * (s / seg);
+    }
+    s -= seg;
+  }
+  return plan.waypoints.back();
+}
+
+std::vector<FlightSample> fly(const FlightPlan& plan, double dt_s, double start_time_s,
+                              Battery* battery) {
+  expects(dt_s > 0.0, "fly: sampling interval must be positive");
+  expects(plan.speed_mps > 0.0, "fly: speed must be positive");
+  expects(!plan.waypoints.empty(), "fly: plan must have waypoints");
+
+  const double duration = plan.duration_s();
+  std::vector<FlightSample> samples;
+  samples.reserve(static_cast<std::size_t>(duration / dt_s) + 2);
+  for (double t = 0.0; t < duration; t += dt_s) {
+    samples.push_back({start_time_s + t, plan_point_at(plan, t * plan.speed_mps),
+                       plan.speed_mps});
+  }
+  samples.push_back({start_time_s + duration, plan.waypoints.back(), plan.speed_mps});
+  if (battery != nullptr) battery->drain(duration, plan.speed_mps);
+  return samples;
+}
+
+}  // namespace skyran::uav

@@ -1,0 +1,48 @@
+// Autonomous flight execution: waypoint plans flown at constant cruise speed
+// (the paper flies measurement trajectories at 30 km/h) with time-stamped
+// position sampling and battery accounting. Plays the role of the DJI
+// OnBoard-SDK flight-control core.
+#pragma once
+
+#include <vector>
+
+#include "geo/path.hpp"
+#include "geo/vec.hpp"
+#include "uav/battery.hpp"
+
+namespace skyran::uav {
+
+/// Cruise speed used throughout the paper's experiments: 30 km/h.
+inline constexpr double kDefaultCruiseMps = 30.0 / 3.6;
+
+struct FlightPlan {
+  std::vector<geo::Vec3> waypoints;
+  double speed_mps = kDefaultCruiseMps;
+
+  double length_m() const;
+  double duration_s() const { return speed_mps > 0.0 ? length_m() / speed_mps : 0.0; }
+
+  /// 2-D projection of the route (used by REM bookkeeping).
+  geo::Path ground_track() const;
+
+  /// Lift a 2-D path to a constant-altitude plan.
+  static FlightPlan at_altitude(const geo::Path& path, double altitude_m,
+                                double speed_mps = kDefaultCruiseMps);
+};
+
+/// A time-stamped true position along a flown plan.
+struct FlightSample {
+  double time_s = 0.0;
+  geo::Vec3 position;
+  double speed_mps = 0.0;
+};
+
+/// Fly `plan` starting at `start_time_s`, sampling the true position every
+/// `dt_s` seconds (endpoints included). Optionally drains `battery`.
+std::vector<FlightSample> fly(const FlightPlan& plan, double dt_s, double start_time_s = 0.0,
+                              Battery* battery = nullptr);
+
+/// Position along the plan at arc length `s` meters from the start.
+geo::Vec3 plan_point_at(const FlightPlan& plan, double s);
+
+}  // namespace skyran::uav

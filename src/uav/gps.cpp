@@ -1,0 +1,43 @@
+#include "uav/gps.hpp"
+
+#include "geo/contract.hpp"
+
+namespace skyran::uav {
+
+GpsSensor::GpsSensor(std::uint64_t seed, double horizontal_sigma_m, double vertical_sigma_m)
+    : rng_(seed), horizontal_(0.0, horizontal_sigma_m), vertical_(0.0, vertical_sigma_m) {
+  expects(horizontal_sigma_m >= 0.0, "GpsSensor: horizontal sigma must be >= 0");
+  expects(vertical_sigma_m >= 0.0, "GpsSensor: vertical sigma must be >= 0");
+}
+
+void GpsSensor::set_outage_model(double enter_probability, double mean_length_samples) {
+  expects(enter_probability >= 0.0 && enter_probability < 1.0,
+          "GpsSensor: outage probability must be in [0,1)");
+  expects(mean_length_samples >= 1.0 || enter_probability == 0.0,
+          "GpsSensor: mean outage length must be >= 1 sample");
+  outage_enter_prob_ = enter_probability;
+  outage_mean_len_ = mean_length_samples;
+}
+
+GpsFix GpsSensor::sample(geo::Vec3 p, double t) {
+  if (outage_left_ > 0) {
+    --outage_left_;
+    return {t, have_last_ ? last_valid_ : p, false};
+  }
+  if (outage_enter_prob_ > 0.0) {
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    if (u01(rng_) < outage_enter_prob_) {
+      std::geometric_distribution<int> len(1.0 / outage_mean_len_);
+      outage_left_ = 1 + len(rng_);
+      --outage_left_;
+      return {t, have_last_ ? last_valid_ : p, false};
+    }
+  }
+  const GpsFix fix{t, {p.x + horizontal_(rng_), p.y + horizontal_(rng_), p.z + vertical_(rng_)},
+                   true};
+  last_valid_ = fix.position;
+  have_last_ = true;
+  return fix;
+}
+
+}  // namespace skyran::uav

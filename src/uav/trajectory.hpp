@@ -1,0 +1,30 @@
+// Trajectory builders: the Uniform baseline's corner-start zigzag sweep
+// (paper Fig. 16), bounded random walks for the UE-localization flight
+// (Sec 3.2), and budget-truncation helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/path.hpp"
+#include "geo/rect.hpp"
+
+namespace skyran::geo {}
+
+namespace skyran::uav {
+
+/// Corner-start boustrophedon (zigzag/lawnmower) sweep of `area` with the
+/// given pass `spacing`. Starts at the southwest corner, sweeps east-west
+/// rows northward.
+geo::Path zigzag(geo::Rect area, double spacing);
+
+/// Random waypoint walk inside `area`, total length `length_m`, legs of
+/// roughly `leg_m` meters, starting at `start`. Used for the short UE
+/// localization flight.
+geo::Path random_walk(geo::Rect area, geo::Vec2 start, double length_m, double leg_m,
+                      std::uint64_t seed);
+
+/// Prefix of `path` whose arc length does not exceed `budget_m` (the final
+/// point is interpolated exactly at the budget).
+geo::Path truncate_to_budget(const geo::Path& path, double budget_m);
+
+}  // namespace skyran::uav

@@ -1,0 +1,175 @@
+// Integration tests: the complete SkyRAN pipeline against ground truth and
+// baselines, across terrains and over multiple dynamic epochs. These assert
+// the paper's qualitative claims end to end (with loose bounds so they stay
+// robust to seeds).
+#include <gtest/gtest.h>
+
+#include "core/skyran.hpp"
+#include "geo/stats.hpp"
+#include "mobility/deployment.hpp"
+#include "mobility/model.hpp"
+#include "sim/baselines.hpp"
+#include "sim/ground_truth.hpp"
+#include "terrain/lidar.hpp"
+#include "uav/trajectory.hpp"
+
+namespace skyran {
+namespace {
+
+sim::World make_world(terrain::TerrainKind kind, std::uint64_t seed, int ues) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = kind;
+  wc.seed = seed;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), ues, seed + 1);
+  return world;
+}
+
+TEST(IntegrationTest, SkyranNearOptimalOnCampus) {
+  // Paper headline: 0.9-0.95x of optimal on the testbed. Median over seeds
+  // must clear 0.85 here.
+  std::vector<double> rels;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    sim::World world = make_world(terrain::TerrainKind::kCampus, 100 + s, 5);
+    core::SkyRanConfig cfg;
+    cfg.measurement_budget_m = 800.0;
+    cfg.localization_mode = core::LocalizationMode::kGaussianError;
+    cfg.injected_error_m = 8.0;  // the PHY pipeline's typical accuracy
+    core::SkyRan skyran(world, cfg, 200 + s);
+    const core::EpochReport r = skyran.run_epoch();
+    const sim::GroundTruth truth = sim::compute_ground_truth(world, r.altitude_m, 5.0);
+    rels.push_back(std::min(1.0, sim::relative_throughput(world, truth, r.position)));
+  }
+  EXPECT_GT(geo::median(rels), 0.85);
+}
+
+TEST(IntegrationTest, SkyranBeatsUniformAtEqualBudget) {
+  // Paper: ~2x over Uniform at small budgets. Require a clear median win.
+  std::vector<double> sky, uni;
+  const double budget = 400.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    sim::World world = make_world(terrain::TerrainKind::kCampus, 300 + s, 5);
+    core::SkyRanConfig cfg;
+    cfg.measurement_budget_m = budget;
+    cfg.localization_mode = core::LocalizationMode::kGaussianError;
+    cfg.injected_error_m = 8.0;
+    core::SkyRan skyran(world, cfg, 400 + s);
+    const core::EpochReport r = skyran.run_epoch();
+    const sim::GroundTruth truth = sim::compute_ground_truth(world, r.altitude_m, 5.0);
+    sky.push_back(sim::relative_throughput(world, truth, r.position));
+
+    sim::UniformConfig uc;
+    uc.altitude_m = r.altitude_m;
+    uc.budget_m = budget;
+    const sim::SchemeResult u = sim::run_uniform(world, uc, 500 + s);
+    uni.push_back(sim::relative_throughput(world, truth, u.position));
+  }
+  EXPECT_GT(geo::median(sky), geo::median(uni));
+}
+
+TEST(IntegrationTest, RemAccuracyBeatsFsplModel) {
+  // Fig. 4: the data-driven REM beats the free-space model map.
+  sim::World world = make_world(terrain::TerrainKind::kCampus, 700, 3);
+  const double altitude = 50.0;
+  const sim::GroundTruth truth = sim::compute_ground_truth(world, altitude, 4.0);
+
+  // Measured REM from a generous flight.
+  std::vector<rem::Rem> rems;
+  for (const geo::Vec3& ue : world.ue_positions())
+    rems.emplace_back(world.area(), 4.0, altitude, ue);
+  const geo::Path track = uav::zigzag(world.area().inflated(-10.0), 40.0);
+  std::mt19937_64 rng(7);
+  sim::run_measurement_flight(world, uav::FlightPlan::at_altitude(track, altitude), rems, {},
+                              rng);
+
+  const rf::FsplChannel fspl(world.channel().frequency_hz());
+  double measured_err = 0.0;
+  double model_err = 0.0;
+  for (std::size_t i = 0; i < rems.size(); ++i) {
+    measured_err += rem::median_abs_error_db(rems[i].estimate(), truth.per_ue_rems[i]);
+    rem::Rem model_map(world.area(), 4.0, altitude, world.ue_positions()[i]);
+    model_map.seed_from_model(fspl, world.budget());
+    model_err += rem::median_abs_error_db(model_map.estimate(), truth.per_ue_rems[i]);
+  }
+  EXPECT_LT(measured_err, model_err);
+}
+
+TEST(IntegrationTest, DynamicEpochsRecoverPerformance) {
+  sim::World world = make_world(terrain::TerrainKind::kCampus, 900, 6);
+  mobility::EpochRelocateMobility mob(world.terrain(), world.ue_positions(), 0.5, 901);
+  core::SkyRanConfig cfg;
+  cfg.measurement_budget_m = 600.0;
+  cfg.localization_mode = core::LocalizationMode::kGaussianError;
+  cfg.injected_error_m = 8.0;
+  core::SkyRan skyran(world, cfg, 902);
+
+  std::vector<double> rels;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    if (epoch > 0) {
+      mob.relocate_epoch();
+      world.ue_positions() = mob.positions();
+    }
+    const core::EpochReport r = skyran.run_epoch();
+    const sim::GroundTruth truth = sim::compute_ground_truth(world, r.altitude_m, 5.0);
+    rels.push_back(std::min(1.0, sim::relative_throughput(world, truth, r.position)));
+  }
+  // Each epoch re-optimizes: the median across dynamic epochs stays healthy.
+  EXPECT_GT(geo::median(rels), 0.7);
+  EXPECT_GE(skyran.rem_store().size(), 6u);  // history accumulated
+}
+
+TEST(IntegrationTest, LidarRoundTripWorldBehavesLikeOriginal) {
+  // Build a world from a rasterized LiDAR scan of a generated terrain: the
+  // full paper pipeline (point cloud -> raster -> ray tracing).
+  const terrain::Terrain original = terrain::make_rural(31, 2.0);
+  const terrain::PointCloud cloud = terrain::scan_terrain(original, {}, 32);
+  auto scanned = std::make_shared<const terrain::Terrain>(terrain::rasterize(cloud, 2.0));
+
+  sim::WorldConfig wc;
+  wc.seed = 31;
+  const sim::World world(scanned, wc);
+  auto orig_ptr = std::make_shared<const terrain::Terrain>(original);
+  const sim::World ref(orig_ptr, wc);
+
+  // Path losses through the scanned terrain track the original closely.
+  std::vector<double> diffs;
+  for (double x = 30.0; x < 220.0; x += 37.0) {
+    for (double y = 30.0; y < 220.0; y += 37.0) {
+      const geo::Vec3 uav{125.0, 125.0, 60.0};
+      const geo::Vec3 ue{x, y, original.ground_height({x, y}) + 1.5};
+      diffs.push_back(std::abs(world.channel().path_loss_db(uav, ue) -
+                               ref.channel().path_loss_db(uav, ue)));
+    }
+  }
+  EXPECT_LT(geo::median(diffs), 6.0);
+}
+
+/// Terrain sweep: one full epoch completes on every archetype.
+class TerrainSweep : public ::testing::TestWithParam<terrain::TerrainKind> {};
+
+TEST_P(TerrainSweep, EpochCompletesEverywhere) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = GetParam();
+  wc.seed = 21;
+  wc.cell_size_m = GetParam() == terrain::TerrainKind::kLarge ? 4.0 : 1.0;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_uniform(world.terrain(), 4, 22);
+  core::SkyRanConfig cfg;
+  cfg.measurement_budget_m = 600.0;
+  cfg.rem_cell_m = GetParam() == terrain::TerrainKind::kLarge ? 12.0 : 5.0;
+  cfg.localization_mode = core::LocalizationMode::kPerfect;
+  core::SkyRan skyran(world, cfg, 23);
+  const core::EpochReport r = skyran.run_epoch();
+  EXPECT_TRUE(world.area().contains(r.position));
+  EXPECT_GT(r.altitude_m, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Terrains, TerrainSweep,
+                         ::testing::Values(terrain::TerrainKind::kFlat,
+                                           terrain::TerrainKind::kCampus,
+                                           terrain::TerrainKind::kRural,
+                                           terrain::TerrainKind::kNyc,
+                                           terrain::TerrainKind::kLarge));
+
+}  // namespace
+}  // namespace skyran

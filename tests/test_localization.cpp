@@ -1,0 +1,232 @@
+// Tests for the localization module: the GPS-ToF pipeline, single- and
+// fixed-offset multilateration, the joint shared-offset solver and the
+// end-to-end UeLocalizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include "geo/contract.hpp"
+#include "localization/localizer.hpp"
+#include "localization/multilateration.hpp"
+#include "localization/pipeline.hpp"
+#include "mobility/deployment.hpp"
+#include "sim/world.hpp"
+#include "uav/trajectory.hpp"
+
+namespace skyran::localization {
+namespace {
+
+/// Synthetic tuples: perfect ranges plus a known offset and Gaussian noise.
+GpsTofSeries synthetic_tuples(geo::Vec3 ue, double offset_m, double noise_sigma,
+                              std::uint64_t seed, int n = 80, double aperture_m = 40.0) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, noise_sigma);
+  GpsTofSeries out;
+  for (int i = 0; i < n; ++i) {
+    // L-shaped flight around the area center at 60 m altitude.
+    const double s = aperture_m * i / n;
+    const geo::Vec3 p = i < n / 2 ? geo::Vec3{150.0 + s, 150.0, 60.0}
+                                  : geo::Vec3{150.0 + aperture_m / 2.0, 150.0 + s / 2.0, 60.0};
+    out.push_back({i * 0.02, p, p.dist(ue) + offset_m + noise(rng)});
+  }
+  return out;
+}
+
+TEST(MultilaterationTest, FixedOffsetExactRecovery) {
+  const geo::Vec3 ue{80.0, 220.0, 1.5};
+  const GpsTofSeries tuples = synthetic_tuples(ue, 40.0, 0.0, 1);
+  const MultilaterationResult fit =
+      multilaterate_fixed_offset(tuples, geo::Rect::square(300.0), 1.5, 40.0);
+  EXPECT_LT(fit.position.dist(ue.xy()), 0.5);
+  EXPECT_LT(fit.rms_residual_m, 0.1);
+}
+
+TEST(MultilaterationTest, FixedOffsetRobustToNoise) {
+  const geo::Vec3 ue{230.0, 60.0, 1.5};
+  const GpsTofSeries tuples = synthetic_tuples(ue, 40.0, 2.0, 2);
+  const MultilaterationResult fit =
+      multilaterate_fixed_offset(tuples, geo::Rect::square(300.0), 1.5, 40.0);
+  EXPECT_LT(fit.position.dist(ue.xy()), 15.0);
+}
+
+TEST(MultilaterationTest, FixedOffsetRobustToOutliers) {
+  const geo::Vec3 ue{100.0, 100.0, 1.5};
+  GpsTofSeries tuples = synthetic_tuples(ue, 40.0, 1.0, 3);
+  // 15% gross outliers (NLOS bursts): +60 m.
+  for (std::size_t i = 0; i < tuples.size(); i += 7) tuples[i].range_m += 60.0;
+  const MultilaterationResult fit =
+      multilaterate_fixed_offset(tuples, geo::Rect::square(300.0), 1.5, 40.0);
+  EXPECT_LT(fit.position.dist(ue.xy()), 15.0);
+}
+
+TEST(MultilaterationTest, FreeOffsetSolvableWithWideAperture) {
+  // With an aperture comparable to the range, (x, y, b) is identifiable.
+  const geo::Vec3 ue{160.0, 170.0, 1.5};
+  const GpsTofSeries tuples = synthetic_tuples(ue, 40.0, 0.5, 4, 120, 200.0);
+  const MultilaterationResult fit = multilaterate(tuples, geo::Rect::square(300.0), 1.5);
+  EXPECT_LT(fit.position.dist(ue.xy()), 10.0);
+  EXPECT_NEAR(fit.offset_m, 40.0, 10.0);
+}
+
+TEST(MultilaterationTest, TooFewTuplesRejected) {
+  GpsTofSeries three(3);
+  EXPECT_THROW(multilaterate(three, geo::Rect::square(100.0), 1.5), ContractViolation);
+}
+
+TEST(JointTest, SharedOffsetBreaksDegeneracy) {
+  // Several UEs in different directions, short aperture each: the shared
+  // offset plus the calibration prior pins b, then per-UE fits are accurate.
+  const std::vector<geo::Vec3> ues{
+      {60.0, 60.0, 1.5}, {240.0, 70.0, 1.5}, {150.0, 260.0, 1.5}, {40.0, 220.0, 1.5}};
+  std::vector<GpsTofSeries> tuples;
+  std::vector<double> zs;
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    tuples.push_back(synthetic_tuples(ues[i], 40.0, 1.5, 10 + i, 80, 30.0));
+    zs.push_back(1.5);
+  }
+  const JointMultilaterationResult fit =
+      multilaterate_joint(tuples, geo::Rect::square(300.0), zs);
+  EXPECT_NEAR(fit.shared_offset_m, 40.0, 8.0);
+  for (std::size_t i = 0; i < ues.size(); ++i)
+    EXPECT_LT(fit.per_ue[i].position.dist(ues[i].xy()), 15.0) << "ue " << i;
+}
+
+TEST(JointTest, SkipsUesWithoutData) {
+  const geo::Vec3 ue{60.0, 60.0, 1.5};
+  std::vector<GpsTofSeries> tuples{synthetic_tuples(ue, 40.0, 1.0, 20), GpsTofSeries{}};
+  const std::vector<double> zs{1.5, 1.5};
+  const JointMultilaterationResult fit =
+      multilaterate_joint(tuples, geo::Rect::square(300.0), zs);
+  ASSERT_EQ(fit.per_ue.size(), 2u);
+  EXPECT_LT(fit.per_ue[0].position.dist(ue.xy()), 15.0);
+  EXPECT_EQ(fit.per_ue[1].iterations, 0);  // untouched default
+}
+
+TEST(JointTest, Contracts) {
+  const std::vector<GpsTofSeries> none;
+  const std::vector<double> zs;
+  EXPECT_THROW(multilaterate_joint(none, geo::Rect::square(10.0), zs), ContractViolation);
+  const std::vector<GpsTofSeries> empty_only{GpsTofSeries{}};
+  const std::vector<double> z1{1.5};
+  EXPECT_THROW(multilaterate_joint(empty_only, geo::Rect::square(10.0), z1),
+               ContractViolation);
+  const std::vector<GpsTofSeries> mismatch{GpsTofSeries(5)};
+  EXPECT_THROW(multilaterate_joint(mismatch, geo::Rect::square(10.0), zs), ContractViolation);
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineFixture() {
+    sim::WorldConfig wc;
+    wc.terrain_kind = terrain::TerrainKind::kCampus;
+    wc.seed = 77;
+    world_ = std::make_unique<sim::World>(wc);
+    world_->ue_positions() = mobility::deploy_mixed_visibility(world_->terrain(), 4, 78);
+  }
+  std::unique_ptr<sim::World> world_;
+};
+
+TEST_F(PipelineFixture, TuplesTrackTrueRangePlusOffset) {
+  RangingConfig rc;
+  const geo::Path track =
+      uav::random_walk(world_->area().inflated(-10.0), {150.0, 150.0}, 30.0, 9.0, 5);
+  const auto samples = uav::fly(uav::FlightPlan::at_altitude(track, 60.0), 1.0 / rc.gps_rate_hz);
+  const ChannelLosOracle los(world_->channel());
+  uav::GpsSensor gps(6);
+  std::mt19937_64 rng(7);
+  const geo::Vec3 ue = world_->ue_positions()[0];
+  const GpsTofSeries tuples =
+      collect_gps_tof(samples, ue, world_->channel(), los, world_->budget(), gps, rc, rng);
+  ASSERT_GE(tuples.size(), 20u);
+  std::vector<double> errors;
+  for (const GpsTofTuple& t : tuples)
+    errors.push_back(t.range_m - (t.uav_position.dist(ue) + rc.processing_offset_m));
+  std::sort(errors.begin(), errors.end());
+  const double med = errors[errors.size() / 2];
+  EXPECT_LT(std::abs(med), 8.0);  // small bias (LOS ~0, NLOS up to ~6 m)
+}
+
+TEST_F(PipelineFixture, LowSnrReportsDropped) {
+  RangingConfig rc;
+  rc.min_snr_db = 1e9;  // absurd threshold: everything dropped
+  const geo::Path track =
+      uav::random_walk(world_->area().inflated(-10.0), {150.0, 150.0}, 20.0, 9.0, 5);
+  const auto samples = uav::fly(uav::FlightPlan::at_altitude(track, 60.0), 1.0 / rc.gps_rate_hz);
+  const ChannelLosOracle los(world_->channel());
+  uav::GpsSensor gps(6);
+  std::mt19937_64 rng(7);
+  const GpsTofSeries tuples = collect_gps_tof(samples, world_->ue_positions()[0],
+                                              world_->channel(), los, world_->budget(), gps,
+                                              rc, rng);
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST_F(PipelineFixture, LocalizerEndToEndAccuracy) {
+  LocalizerConfig lc;
+  const UeLocalizer localizer(world_->channel(), world_->budget(), lc);
+  const LocalizationRun run =
+      localizer.localize({150.0, 150.0}, world_->ue_positions(), 42);
+  EXPECT_GT(run.flight_length_m, lc.flight_length_m - 1.0);
+  ASSERT_EQ(run.estimates.size(), world_->ue_positions().size());
+  std::vector<double> errs;
+  for (std::size_t i = 0; i < run.estimates.size(); ++i) {
+    if (!run.estimates[i].valid) continue;
+    errs.push_back(run.estimates[i].position.dist(world_->ue_positions()[i].xy()));
+  }
+  ASSERT_GE(errs.size(), 3u);
+  std::sort(errs.begin(), errs.end());
+  // Median well under the macro-cell 50-100 m state of the art (Sec 6).
+  EXPECT_LT(errs[errs.size() / 2], 25.0);
+}
+
+TEST_F(PipelineFixture, LocalizerToleratesGpsOutages) {
+  LocalizerConfig lc;
+  lc.gps_outage_probability = 0.05;  // frequent short outages
+  lc.gps_outage_mean_samples = 6.0;
+  const UeLocalizer localizer(world_->channel(), world_->budget(), lc);
+  const LocalizationRun run =
+      localizer.localize({150.0, 150.0}, world_->ue_positions(), 77);
+  std::vector<double> errs;
+  for (std::size_t i = 0; i < run.estimates.size(); ++i)
+    if (run.estimates[i].valid)
+      errs.push_back(run.estimates[i].position.dist(world_->ue_positions()[i].xy()));
+  ASSERT_GE(errs.size(), 3u);
+  std::sort(errs.begin(), errs.end());
+  // Fewer tuples, same ballpark accuracy: outages degrade gracefully.
+  EXPECT_LT(errs[errs.size() / 2], 40.0);
+}
+
+TEST_F(PipelineFixture, LocalizerDeterministicInSeed) {
+  LocalizerConfig lc;
+  lc.flight_length_m = 20.0;
+  const UeLocalizer localizer(world_->channel(), world_->budget(), lc);
+  const LocalizationRun a = localizer.localize({150.0, 150.0}, world_->ue_positions(), 9);
+  const LocalizationRun b = localizer.localize({150.0, 150.0}, world_->ue_positions(), 9);
+  for (std::size_t i = 0; i < a.estimates.size(); ++i)
+    EXPECT_EQ(a.estimates[i].position, b.estimates[i].position);
+}
+
+/// Property: localization error decreases (weakly) as tuple noise shrinks.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, FixedOffsetErrorScalesWithNoise) {
+  const geo::Vec3 ue{90.0, 210.0, 1.5};
+  double total = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const GpsTofSeries tuples =
+        synthetic_tuples(ue, 40.0, GetParam(), 100 + trial, 100, 40.0);
+    const MultilaterationResult fit =
+        multilaterate_fixed_offset(tuples, geo::Rect::square(300.0), 1.5, 40.0);
+    total += fit.position.dist(ue.xy());
+  }
+  // Loose linear-ish bound: ~8 m of position error per meter of range noise
+  // at this range/aperture ratio, plus a small floor.
+  EXPECT_LT(total / 5.0, 3.0 + 9.0 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Noises, NoiseSweep, ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace skyran::localization

@@ -1,0 +1,260 @@
+// Tests for the LTE MAC/control substrate: AMC tables, schedulers, the
+// eNodeB facade and the lightweight EPC.
+#include <gtest/gtest.h>
+
+#include "geo/contract.hpp"
+#include "lte/amc.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/epc.hpp"
+#include "lte/scheduler.hpp"
+
+namespace skyran::lte {
+namespace {
+
+TEST(AmcTest, CqiMonotoneInSnr) {
+  int prev = 0;
+  for (double snr = -15.0; snr <= 30.0; snr += 0.5) {
+    const int cqi = snr_to_cqi(snr);
+    EXPECT_GE(cqi, prev);
+    prev = cqi;
+  }
+  EXPECT_EQ(snr_to_cqi(-20.0), 0);
+  EXPECT_EQ(snr_to_cqi(100.0), 15);
+}
+
+TEST(AmcTest, TableBoundaries) {
+  EXPECT_EQ(snr_to_cqi(-6.7), 1);
+  EXPECT_EQ(snr_to_cqi(-6.8), 0);
+  EXPECT_EQ(snr_to_cqi(22.7), 15);
+  EXPECT_EQ(snr_to_cqi(22.6), 14);
+  EXPECT_EQ(cqi_table_size(), 15);
+}
+
+TEST(AmcTest, EfficiencyMatchesSpec) {
+  EXPECT_DOUBLE_EQ(cqi_efficiency(0), 0.0);
+  EXPECT_DOUBLE_EQ(cqi_efficiency(1), 0.1523);
+  EXPECT_DOUBLE_EQ(cqi_efficiency(15), 5.5547);
+  EXPECT_THROW(cqi_efficiency(16), ContractViolation);
+  EXPECT_THROW(cqi_efficiency(-1), ContractViolation);
+}
+
+TEST(AmcTest, PeakThroughputTenMegahertz) {
+  const BandwidthConfig c = bandwidth_config(10.0);
+  // 5.5547 b/s/Hz x 9 MHz x 0.75 ~ 37.5 Mbit/s: the SISO LTE ballpark.
+  EXPECT_NEAR(throughput_bps(30.0, c) / 1e6, 37.5, 0.5);
+  EXPECT_DOUBLE_EQ(throughput_bps(-10.0, c), 0.0);
+}
+
+TEST(AmcTest, StalenessActsAsSnrBackoff) {
+  const BandwidthConfig c = bandwidth_config(10.0);
+  EXPECT_DOUBLE_EQ(throughput_with_staleness_bps(15.0, 5.0, c), throughput_bps(10.0, c));
+  EXPECT_LT(throughput_with_staleness_bps(15.0, 5.0, c), throughput_bps(15.0, c));
+  EXPECT_THROW(throughput_with_staleness_bps(15.0, -1.0, c), ContractViolation);
+}
+
+TEST(SchedulerTest, RoundRobinSplitsPrbsEvenly) {
+  Scheduler sched(bandwidth_config(10.0));
+  const std::vector<UeChannelState> ues{{1, 20.0, true}, {2, 20.0, true}, {3, 20.0, true}};
+  const auto alloc = sched.schedule_tti(ues);
+  ASSERT_EQ(alloc.size(), 3u);
+  int total = 0;
+  for (const UeAllocation& a : alloc) {
+    EXPECT_GE(a.prb, 16);
+    EXPECT_LE(a.prb, 17);
+    total += a.prb;
+    EXPECT_GT(a.bits, 0.0);
+  }
+  EXPECT_EQ(total, 50);
+}
+
+TEST(SchedulerTest, RemainderRotatesAcrossTtis) {
+  Scheduler sched(bandwidth_config(10.0));
+  const std::vector<UeChannelState> ues{{1, 20.0, true}, {2, 20.0, true}, {3, 20.0, true}};
+  // 50 = 3*16 + 2: two UEs get 17. Over 3 TTIs everyone gets 17 twice.
+  std::vector<int> seventeens(3, 0);
+  for (int t = 0; t < 3; ++t) {
+    const auto alloc = sched.schedule_tti(ues);
+    for (std::size_t i = 0; i < 3; ++i)
+      if (alloc[i].prb == 17) ++seventeens[i];
+  }
+  EXPECT_EQ(seventeens[0], 2);
+  EXPECT_EQ(seventeens[1], 2);
+  EXPECT_EQ(seventeens[2], 2);
+}
+
+TEST(SchedulerTest, OutOfRangeUeExcluded) {
+  Scheduler sched(bandwidth_config(10.0));
+  const std::vector<UeChannelState> ues{{1, 20.0, true}, {2, -20.0, true}};
+  const auto alloc = sched.schedule_tti(ues);
+  EXPECT_EQ(alloc[0].prb, 50);
+  EXPECT_EQ(alloc[1].prb, 0);
+  EXPECT_DOUBLE_EQ(alloc[1].bits, 0.0);
+}
+
+TEST(SchedulerTest, IdleUeNotScheduled) {
+  Scheduler sched(bandwidth_config(10.0));
+  const std::vector<UeChannelState> ues{{1, 20.0, true}, {2, 20.0, false}};
+  const auto alloc = sched.schedule_tti(ues);
+  EXPECT_EQ(alloc[0].prb, 50);
+  EXPECT_EQ(alloc[1].prb, 0);
+}
+
+TEST(SchedulerTest, NoEligibleUesAllZero) {
+  Scheduler sched(bandwidth_config(10.0));
+  const auto alloc = sched.schedule_tti({{1, -30.0, true}});
+  EXPECT_EQ(alloc[0].prb, 0);
+}
+
+TEST(SchedulerTest, ProportionalFairFavorsGoodChannelInstantaneously) {
+  Scheduler sched(bandwidth_config(10.0), SchedulerPolicy::kProportionalFair);
+  const std::vector<UeChannelState> ues{{1, 25.0, true}, {2, 0.0, true}};
+  const auto alloc = sched.schedule_tti(ues);
+  EXPECT_GT(alloc[0].prb, alloc[1].prb);
+  EXPECT_EQ(alloc[0].prb + alloc[1].prb, 50);
+}
+
+TEST(SchedulerTest, ProportionalFairEvensOutOverTime) {
+  Scheduler sched(bandwidth_config(10.0), SchedulerPolicy::kProportionalFair);
+  const std::vector<UeChannelState> ues{{1, 25.0, true}, {2, 10.0, true}};
+  double bits1 = 0.0;
+  double bits2 = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    const auto alloc = sched.schedule_tti(ues);
+    bits1 += alloc[0].bits;
+    bits2 += alloc[1].bits;
+  }
+  // PF does not starve the weak UE: it gets a meaningful share.
+  EXPECT_GT(bits2, 0.15 * bits1);
+  EXPECT_GT(sched.average_rate_bps(2), 0.0);
+}
+
+TEST(EpcTest, AttachCreatesDefaultBearer) {
+  Epc epc;
+  const EpcUeContext& ctx = epc.attach("001010000000001");
+  EXPECT_EQ(ctx.state, UeEmmState::kRegistered);
+  ASSERT_EQ(ctx.bearers.size(), 1u);
+  EXPECT_EQ(ctx.bearers[0].bearer_id, 5);
+  EXPECT_EQ(epc.registered_count(), 1u);
+}
+
+TEST(EpcTest, AttachIsIdempotent) {
+  Epc epc;
+  const std::uint64_t id1 = epc.attach("imsi-1").ue_id;
+  const std::uint64_t id2 = epc.attach("imsi-1").ue_id;
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(epc.registered_count(), 1u);
+}
+
+TEST(EpcTest, DetachAndReattach) {
+  Epc epc;
+  epc.attach("imsi-1");
+  EXPECT_TRUE(epc.detach("imsi-1"));
+  EXPECT_FALSE(epc.detach("imsi-1"));  // already deregistered
+  EXPECT_FALSE(epc.detach("unknown"));
+  EXPECT_EQ(epc.registered_count(), 0u);
+  const EpcUeContext& ctx = epc.attach("imsi-1");
+  EXPECT_EQ(ctx.state, UeEmmState::kRegistered);
+  EXPECT_EQ(ctx.bearers.size(), 1u);
+}
+
+TEST(EpcTest, DedicatedBearerNumbering) {
+  Epc epc;
+  epc.attach("imsi-1");
+  EXPECT_EQ(epc.add_dedicated_bearer("imsi-1", 1), 6);
+  EXPECT_EQ(epc.add_dedicated_bearer("imsi-1", 5), 7);
+  epc.detach("imsi-1");
+  EXPECT_THROW(epc.add_dedicated_bearer("imsi-1", 1), ContractViolation);
+}
+
+TEST(EpcTest, EmptyImsiRejected) {
+  Epc epc;
+  EXPECT_THROW(epc.attach(""), ContractViolation);
+}
+
+TEST(EnodebTest, AttachAssignsDistinctRntis) {
+  Epc epc;
+  EnodeB enb(bandwidth_config(10.0), rf::LinkBudget{}, epc);
+  const std::uint32_t r1 = enb.attach_ue("imsi-1");
+  const std::uint32_t r2 = enb.attach_ue("imsi-2");
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(enb.attach_ue("imsi-1"), r1);  // idempotent
+  EXPECT_EQ(epc.registered_count(), 2u);
+  EXPECT_EQ(enb.ues().size(), 2u);
+}
+
+TEST(EnodebTest, DetachReleasesEverything) {
+  Epc epc;
+  EnodeB enb(bandwidth_config(10.0), rf::LinkBudget{}, epc);
+  const std::uint32_t r1 = enb.attach_ue("imsi-1");
+  EXPECT_TRUE(enb.detach_ue(r1));
+  EXPECT_FALSE(enb.detach_ue(r1));
+  EXPECT_EQ(epc.registered_count(), 0u);
+}
+
+TEST(EnodebTest, SnrReportUpdatesCqi) {
+  Epc epc;
+  EnodeB enb(bandwidth_config(10.0), rf::LinkBudget{}, epc);
+  const std::uint32_t r = enb.attach_ue("imsi-1");
+  enb.report_snr(r, 12.0);
+  const RanUeContext* ue = enb.find_ue(r);
+  ASSERT_NE(ue, nullptr);
+  EXPECT_EQ(ue->last_cqi, snr_to_cqi(12.0));
+  EXPECT_THROW(enb.report_snr(9999, 5.0), ContractViolation);
+}
+
+TEST(EnodebTest, ServeTtiUsesLatestReports) {
+  Epc epc;
+  EnodeB enb(bandwidth_config(10.0), rf::LinkBudget{}, epc);
+  const std::uint32_t a = enb.attach_ue("imsi-a");
+  const std::uint32_t b = enb.attach_ue("imsi-b");
+  enb.report_snr(a, 20.0);
+  enb.report_snr(b, -30.0);  // out of range
+  const auto alloc = enb.serve_tti();
+  ASSERT_EQ(alloc.size(), 2u);
+  EXPECT_EQ(alloc[0].rnti, a);
+  EXPECT_EQ(alloc[0].prb, 50);
+  EXPECT_EQ(alloc[1].prb, 0);
+}
+
+TEST(EnodebTest, SnrFromPathLossMatchesBudget) {
+  Epc epc;
+  rf::LinkBudget lb;
+  EnodeB enb(bandwidth_config(10.0), lb, epc);
+  EXPECT_DOUBLE_EQ(enb.snr_from_path_loss_db(100.0), lb.snr_db(100.0));
+}
+
+TEST(EnodebTest, PerUeSrsRootsDiffer) {
+  Epc epc;
+  EnodeB enb(bandwidth_config(10.0), rf::LinkBudget{}, epc);
+  const std::uint32_t a = enb.attach_ue("imsi-a");
+  const std::uint32_t b = enb.attach_ue("imsi-b");
+  EXPECT_NE(enb.find_ue(a)->srs.zc_root, enb.find_ue(b)->srs.zc_root);
+  EXPECT_NO_THROW(enb.make_tof_estimator(a));
+  EXPECT_THROW(enb.make_tof_estimator(12345), ContractViolation);
+}
+
+/// Throughput share property: with n equal UEs, each gets ~1/n of the cell.
+class SchedulerShare : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerShare, EqualUesSplitCellEvenly) {
+  const int n = GetParam();
+  Scheduler sched(bandwidth_config(10.0));
+  std::vector<UeChannelState> ues;
+  for (int i = 0; i < n; ++i) ues.push_back({static_cast<std::uint32_t>(i + 1), 18.0, true});
+  double total_bits = 0.0;
+  std::vector<double> per_ue(static_cast<std::size_t>(n), 0.0);
+  for (int t = 0; t < 100; ++t) {
+    const auto alloc = sched.schedule_tti(ues);
+    for (int i = 0; i < n; ++i) {
+      per_ue[static_cast<std::size_t>(i)] += alloc[static_cast<std::size_t>(i)].bits;
+      total_bits += alloc[static_cast<std::size_t>(i)].bits;
+    }
+  }
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(per_ue[static_cast<std::size_t>(i)] / total_bits, 1.0 / n, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(UeCounts, SchedulerShare, ::testing::Values(1, 2, 3, 5, 7, 10));
+
+}  // namespace
+}  // namespace skyran::lte

@@ -1,0 +1,359 @@
+// Tests for the LTE PHY substrate: FFT engine, Zadoff-Chu sequences, SRS
+// symbol construction, the zero-pad upsampler and the ToF estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geo/contract.hpp"
+#include "lte/fft.hpp"
+#include "lte/ranging.hpp"
+#include "lte/sampling.hpp"
+#include "lte/srs.hpp"
+#include "lte/srs_channel.hpp"
+#include "lte/zadoff_chu.hpp"
+#include "rf/units.hpp"
+
+namespace skyran::lte {
+namespace {
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(1536));
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  CplxVec x(8, Cplx{});
+  x[0] = 1.0;
+  const CplxVec y = fft(x);
+  for (const Cplx& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  CplxVec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::polar(1.0, 2.0 * std::numbers::pi * 5.0 * i / n);
+  const CplxVec y = fft(x);
+  EXPECT_EQ(max_abs_index(y), 5u);
+  EXPECT_NEAR(std::abs(y[5]), static_cast<double>(n), 1e-9);
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (const std::size_t n : {std::size_t{16}, std::size_t{1024}}) {
+    CplxVec x(n);
+    for (Cplx& v : x) v = Cplx(g(rng), g(rng));
+    const CplxVec y = ifft(fft(x));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i].real(), x[i].real(), 1e-9);
+      EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, BluesteinMatchesDirectDft) {
+  // Size 12 (not a power of two) exercises the chirp-z path.
+  const std::size_t n = 12;
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> g(0.0, 1.0);
+  CplxVec x(n);
+  for (Cplx& v : x) v = Cplx(g(rng), g(rng));
+  const CplxVec y = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx direct{};
+    for (std::size_t i = 0; i < n; ++i)
+      direct += x[i] * std::polar(1.0, -2.0 * std::numbers::pi * k * i / n);
+    EXPECT_NEAR(y[k].real(), direct.real(), 1e-9);
+    EXPECT_NEAR(y[k].imag(), direct.imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, BluesteinRoundTripSize1536) {
+  // The 15 MHz LTE FFT size.
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> g(0.0, 1.0);
+  CplxVec x(1536);
+  for (Cplx& v : x) v = Cplx(g(rng), g(rng));
+  const CplxVec y = ifft(fft(x));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) worst = std::max(worst, std::abs(y[i] - x[i]));
+  EXPECT_LT(worst, 1e-8);
+}
+
+TEST(FftTest, ParsevalHolds) {
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> g(0.0, 1.0);
+  CplxVec x(256);
+  for (Cplx& v : x) v = Cplx(g(rng), g(rng));
+  double time_energy = 0.0;
+  for (const Cplx& v : x) time_energy += std::norm(v);
+  const CplxVec y = fft(x);
+  double freq_energy = 0.0;
+  for (const Cplx& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / x.size(), time_energy, 1e-6);
+}
+
+TEST(FftTest, EmptyInputThrows) {
+  CplxVec empty;
+  EXPECT_THROW(fft_inplace(empty), ContractViolation);
+  EXPECT_THROW(max_abs_index(empty), ContractViolation);
+}
+
+TEST(FftTest, MultiplyConjugateSizeMismatch) {
+  CplxVec a(4), b(5);
+  EXPECT_THROW(multiply_conjugate(a, b), ContractViolation);
+}
+
+TEST(ZadoffChuTest, PrimeHelper) {
+  EXPECT_EQ(largest_prime_not_above(288), 283u);
+  EXPECT_EQ(largest_prime_not_above(13), 13u);
+  EXPECT_EQ(largest_prime_not_above(2), 2u);
+  EXPECT_THROW(largest_prime_not_above(1), ContractViolation);
+}
+
+TEST(ZadoffChuTest, ConstantAmplitude) {
+  const CplxVec zc = zadoff_chu(5, 139);
+  for (const Cplx& v : zc) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(ZadoffChuTest, ZeroAutocorrelation) {
+  // CAZAC property: cyclic autocorrelation is zero at all nonzero lags.
+  const std::uint32_t n = 139;
+  const CplxVec zc = zadoff_chu(7, n);
+  for (const std::uint32_t lag : {1u, 5u, 60u}) {
+    Cplx acc{};
+    for (std::uint32_t i = 0; i < n; ++i) acc += zc[i] * std::conj(zc[(i + lag) % n]);
+    EXPECT_NEAR(std::abs(acc), 0.0, 1e-9) << "lag " << lag;
+  }
+}
+
+TEST(ZadoffChuTest, DifferentRootsLowCrossCorrelation) {
+  const std::uint32_t n = 139;
+  const CplxVec a = zadoff_chu(3, n);
+  const CplxVec b = zadoff_chu(4, n);
+  Cplx acc{};
+  for (std::uint32_t i = 0; i < n; ++i) acc += a[i] * std::conj(b[i]);
+  // Prime-length ZC cross-correlation is 1/sqrt(N) of the peak.
+  EXPECT_NEAR(std::abs(acc), std::sqrt(static_cast<double>(n)), 1.0);
+}
+
+TEST(ZadoffChuTest, RejectsBadParameters) {
+  EXPECT_THROW(zadoff_chu(0, 139), ContractViolation);
+  EXPECT_THROW(zadoff_chu(139, 139), ContractViolation);
+  EXPECT_THROW(zadoff_chu(5, 140), ContractViolation);  // not prime
+}
+
+TEST(ZadoffChuTest, BaseSequenceCyclicExtension) {
+  const CplxVec seq = base_sequence(2, 144);
+  ASSERT_EQ(seq.size(), 144u);
+  // Extension repeats the first elements (Nzc = 139).
+  EXPECT_EQ(seq[139], seq[0]);
+  EXPECT_EQ(seq[143], seq[4]);
+}
+
+TEST(SamplingTest, StandardBandwidthTable) {
+  const BandwidthConfig c10 = bandwidth_config(10.0);
+  EXPECT_EQ(c10.n_prb, 50);
+  EXPECT_EQ(c10.fft_size, 1024u);
+  EXPECT_DOUBLE_EQ(c10.sample_rate_hz, 15.36e6);
+  EXPECT_NEAR(c10.meters_per_sample(), 19.52, 0.01);
+  EXPECT_EQ(bandwidth_config(20.0).fft_size, 2048u);
+  EXPECT_EQ(bandwidth_config(1.4).n_prb, 6);
+  EXPECT_THROW(bandwidth_config(7.0), ContractViolation);
+}
+
+TEST(SrsTest, OccupiedSubcarriersCombAndDc) {
+  SrsConfig cfg;
+  cfg.sounding_prb = 4;
+  cfg.comb = 2;
+  const std::vector<int> res = occupied_subcarriers(cfg);
+  EXPECT_EQ(res.size(), 24u);
+  for (int sc : res) {
+    EXPECT_NE(sc, 0);  // DC never transmitted
+    EXPECT_EQ(((sc < 0 ? -sc : sc) + 24) % 1, 0);
+  }
+  // Comb spacing: consecutive entries differ by the comb.
+  EXPECT_EQ(res[1] - res[0], 2);
+}
+
+TEST(SrsTest, SymbolEnergyOnOccupiedBinsOnly) {
+  SrsConfig cfg;
+  const SrsSymbol sym = make_srs_symbol(cfg);
+  ASSERT_EQ(sym.freq.size(), cfg.carrier.fft_size);
+  std::size_t nonzero = 0;
+  for (const Cplx& v : sym.freq)
+    if (std::abs(v) > 1e-12) {
+      ++nonzero;
+      EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+    }
+  EXPECT_EQ(nonzero, static_cast<std::size_t>(cfg.occupied_res()));
+}
+
+TEST(SrsTest, FftBinMapsSignedIndices) {
+  EXPECT_EQ(fft_bin(1, 1024), 1u);
+  EXPECT_EQ(fft_bin(-1, 1024), 1023u);
+  EXPECT_EQ(fft_bin(-288, 1024), 736u);
+  EXPECT_THROW(fft_bin(0, 1024), ContractViolation);
+  EXPECT_THROW(fft_bin(512, 1024), ContractViolation);
+}
+
+TEST(SrsTest, UpsampleZeroPadPreservesHalves) {
+  CplxVec freq(8);
+  for (std::size_t i = 0; i < 8; ++i) freq[i] = Cplx(static_cast<double>(i + 1), 0.0);
+  const CplxVec up = upsample_zero_pad(freq, 2);
+  ASSERT_EQ(up.size(), 16u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(up[i], freq[i]);            // positive half
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(up[12 + i], freq[4 + i]);   // negative half
+  for (std::size_t i = 4; i < 12; ++i) EXPECT_EQ(up[i], Cplx{});            // zeros inserted
+}
+
+TEST(SrsTest, UpsampleFactorOneIsIdentity) {
+  CplxVec freq(8, Cplx(1.0, -2.0));
+  EXPECT_EQ(upsample_zero_pad(freq, 1), freq);
+}
+
+TEST(SrsChannelTest, NoiselessDelayOnly) {
+  SrsConfig cfg;
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  SrsChannelParams ch;
+  ch.delay_s = 0.0;
+  ch.snr_db = 200.0;  // effectively noiseless
+  std::mt19937_64 rng(5);
+  const SrsSymbol rx = apply_srs_channel(tx, ch, rng);
+  for (std::size_t i = 0; i < rx.freq.size(); ++i)
+    EXPECT_NEAR(std::abs(rx.freq[i] - tx.freq[i]), 0.0, 1e-6);
+}
+
+TEST(SrsChannelTest, NlosTapsHaveConfiguredShape) {
+  std::mt19937_64 rng(6);
+  const auto taps = make_nlos_taps(4, 50e-9, -3.0, 2.0, rng);
+  ASSERT_EQ(taps.size(), 4u);
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    EXPECT_GE(taps[i].excess_delay_s, 0.0);
+    EXPECT_DOUBLE_EQ(taps[i].power_db, -3.0 - 2.0 * static_cast<double>(i));
+  }
+  EXPECT_TRUE(make_nlos_taps(0, 50e-9, -3.0, 2.0, rng).empty());
+}
+
+TEST(TofTest, ExactSampleDelays) {
+  SrsConfig cfg;
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  const TofEstimator est(cfg, 4);
+  std::mt19937_64 rng(7);
+  for (const double delay_samples : {0.0, 3.0, 10.0, 40.0}) {
+    SrsChannelParams ch;
+    ch.delay_s = delay_samples / cfg.carrier.sample_rate_hz;
+    ch.snr_db = 30.0;
+    const TofEstimate e = est.estimate(apply_srs_channel(tx, ch, rng));
+    EXPECT_NEAR(e.delay_samples, delay_samples, 0.3) << delay_samples;
+  }
+}
+
+TEST(TofTest, SubSampleResolution) {
+  SrsConfig cfg;
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  const TofEstimator est(cfg, 4);
+  std::mt19937_64 rng(8);
+  // 7.3 samples: between grid points even after 4x upsampling.
+  const double want = 7.3;
+  SrsChannelParams ch;
+  ch.delay_s = want / cfg.carrier.sample_rate_hz;
+  ch.snr_db = 25.0;
+  const TofEstimate e = est.estimate(apply_srs_channel(tx, ch, rng));
+  EXPECT_NEAR(e.delay_samples, want, 0.15);
+  EXPECT_NEAR(e.distance_m, want * cfg.carrier.meters_per_sample(), 3.0);
+}
+
+TEST(TofTest, PeakRemainsDetectableAtLowSnr) {
+  // The correlator's processing gain (~25 dB for 288 REs) keeps the peak
+  // usable well below the data-decode threshold; delay estimates stay sane
+  // even at -10 dB subcarrier SNR.
+  SrsConfig cfg;
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  const TofEstimator est(cfg, 4);
+  std::mt19937_64 rng(9);
+  for (const double snr : {20.0, 0.0, -10.0}) {
+    SrsChannelParams ch;
+    ch.delay_s = 5e-7;
+    ch.snr_db = snr;
+    const TofEstimate e = est.estimate(apply_srs_channel(tx, ch, rng));
+    EXPECT_GT(e.peak_to_side_db, 10.0) << "snr " << snr;
+    EXPECT_NEAR(e.delay_s, 5e-7, 5e-8) << "snr " << snr;
+  }
+}
+
+TEST(TofTest, WindowContractEnforced) {
+  SrsConfig cfg;
+  // Window beyond the comb alias period is rejected.
+  EXPECT_THROW(TofEstimator(cfg, 4, 1024.0), ContractViolation);
+  EXPECT_NO_THROW(TofEstimator(cfg, 4, 256.0));
+  EXPECT_THROW(TofEstimator(cfg, 0), ContractViolation);
+}
+
+TEST(TofTest, MismatchedSymbolSizeRejected) {
+  const TofEstimator est(SrsConfig{}, 4);
+  SrsSymbol wrong;
+  wrong.config = SrsConfig{};
+  wrong.freq.assign(512, Cplx{});
+  EXPECT_THROW(est.estimate(wrong), ContractViolation);
+}
+
+/// Ranging accuracy sweep over bandwidth: wider carriers range better.
+class TofBandwidth : public ::testing::TestWithParam<double> {};
+
+TEST_P(TofBandwidth, MedianErrorWithinTwoSamples) {
+  SrsConfig cfg;
+  cfg.carrier = bandwidth_config(GetParam());
+  cfg.sounding_prb = std::min(cfg.carrier.n_prb, 48);
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  const TofEstimator est(cfg, 4);
+  std::mt19937_64 rng(10);
+  const double true_dist = 180.0;
+  double worst = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    SrsChannelParams ch;
+    ch.delay_s = true_dist / rf::kSpeedOfLight;
+    ch.snr_db = 15.0;
+    const TofEstimate e = est.estimate(apply_srs_channel(tx, ch, rng));
+    worst = std::max(worst, std::abs(e.distance_m - true_dist));
+  }
+  EXPECT_LT(worst, 2.0 * cfg.carrier.meters_per_sample());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, TofBandwidth, ::testing::Values(5.0, 10.0, 20.0));
+
+/// Upsampling-factor sweep (paper's K, eq. 2-3): resolution improves with K.
+class TofUpsampling : public ::testing::TestWithParam<int> {};
+
+TEST_P(TofUpsampling, QuantizationShrinksWithK) {
+  SrsConfig cfg;
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  const TofEstimator est(cfg, GetParam(), 0.0, 0.0, false);  // pure eq. 3, no refinement
+  std::mt19937_64 rng(11);
+  double worst = 0.0;
+  for (double frac = 0.05; frac < 1.0; frac += 0.13) {
+    SrsChannelParams ch;
+    ch.delay_s = (20.0 + frac) / cfg.carrier.sample_rate_hz;
+    ch.snr_db = 40.0;
+    const TofEstimate e = est.estimate(apply_srs_channel(tx, ch, rng));
+    worst = std::max(worst, std::abs(e.delay_samples - (20.0 + frac)));
+  }
+  // Pure maxpos quantizes to 1/K sample.
+  EXPECT_LE(worst, 0.5 / GetParam() + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, TofUpsampling, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace skyran::lte

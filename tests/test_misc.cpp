@@ -1,0 +1,87 @@
+// Odds-and-ends coverage: weighted placement, coverage thresholds, WiFi
+// backhaul NLOS penalty, REM UE-position updates and table formatting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "lte/backhaul.hpp"
+#include "rem/placement.hpp"
+#include "rem/rem.hpp"
+#include "sim/table.hpp"
+#include "terrain/synth.hpp"
+
+namespace skyran {
+namespace {
+
+TEST(WeightedPlacementTest, WeightsSteerTheArgmax) {
+  // UE a likes the left, UE b likes the right; weighting b 10x must pull
+  // the placement right.
+  geo::Grid2D<double> a(geo::Rect::square(100.0), 10.0, 0.0);
+  geo::Grid2D<double> b(geo::Rect::square(100.0), 10.0, 0.0);
+  a.for_each([&](geo::CellIndex c, double& v) { v = 20.0 - c.ix * 2.0; });
+  b.for_each([&](geo::CellIndex c, double& v) { v = c.ix * 2.0; });
+  const std::vector<geo::Grid2D<double>> maps{a, b};
+  const std::vector<double> favor_b{1.0, 10.0};
+  const rem::Placement p = rem::choose_placement(
+      maps, rem::PlacementObjective::kMaxWeighted, favor_b);
+  EXPECT_GT(p.position.x, 70.0);
+  const std::vector<double> favor_a{10.0, 1.0};
+  const rem::Placement q = rem::choose_placement(
+      maps, rem::PlacementObjective::kMaxWeighted, favor_a);
+  EXPECT_LT(q.position.x, 30.0);
+}
+
+TEST(CoverageMapTest, ThresholdParameterRespected) {
+  geo::Grid2D<double> m(geo::Rect::square(50.0), 10.0, 5.0);
+  const std::vector<geo::Grid2D<double>> maps{m};
+  EXPECT_DOUBLE_EQ(rem::coverage_map(maps, 0.0).at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(rem::coverage_map(maps, 10.0).at(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(rem::coverage_map(maps, 5.0).at(2, 2), 1.0);  // inclusive
+}
+
+TEST(BackhaulTest, WifiNlosPenalty) {
+  auto blocked = std::make_shared<terrain::Terrain>(terrain::make_flat(400.0));
+  for (int ix = 40; ix < 50; ++ix)
+    for (int iy = 0; iy < 400; ++iy) {
+      blocked->cells().at(ix, iy).clutter = terrain::Clutter::kBuilding;
+      blocked->cells().at(ix, iy).clutter_height = 150.0F;
+    }
+  const rf::RayTraceChannel ch(std::shared_ptr<const terrain::Terrain>(blocked), {}, 3);
+  lte::BackhaulConfig cfg;
+  cfg.tech = lte::BackhaulTech::kWifi;
+  cfg.gateway = {10.0, 10.0, 10.0};
+  const lte::Backhaul bh(ch, cfg);
+  // Same distance, LOS (high) vs NLOS (low, behind the slab): factor ~4.
+  const double los = bh.capacity_bps({10.0, 210.0, 60.0});
+  const double nlos = bh.capacity_bps({210.0, 10.0, 60.0});
+  EXPECT_NEAR(los / nlos, 4.0, 0.5);
+}
+
+TEST(RemTest, UePositionUpdatable) {
+  rem::Rem r(geo::Rect::square(50.0), 10.0, 40.0, {10.0, 10.0, 1.5});
+  EXPECT_EQ(r.ue_position(), (geo::Vec3{10.0, 10.0, 1.5}));
+  r.set_ue_position({20.0, 30.0, 1.5});
+  EXPECT_EQ(r.ue_position(), (geo::Vec3{20.0, 30.0, 1.5}));
+}
+
+TEST(RemTest, RestoreMeasurementContracts) {
+  rem::Rem r(geo::Rect::square(50.0), 10.0, 40.0, {10.0, 10.0, 1.5});
+  EXPECT_THROW(r.restore_measurement({0, 0}, 5.0, 0), ContractViolation);
+  r.restore_measurement({0, 0}, 6.0, 2);
+  EXPECT_DOUBLE_EQ(*r.measured_snr({0, 0}), 3.0);
+  EXPECT_EQ(r.measured_cells(), 1u);
+  // Restoring over an existing cell replaces, not double-counts.
+  r.restore_measurement({0, 0}, 10.0, 5);
+  EXPECT_DOUBLE_EQ(*r.measured_snr({0, 0}), 2.0);
+  EXPECT_EQ(r.measured_cells(), 1u);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(sim::Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(sim::Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(sim::Table::num(1e6, 0), "1000000");
+}
+
+}  // namespace
+}  // namespace skyran

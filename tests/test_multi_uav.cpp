@@ -1,0 +1,122 @@
+// Tests for the multi-UAV extension: partitioning, shared REM store,
+// service metrics and the scaling benefit over a single UAV.
+#include <gtest/gtest.h>
+
+#include "core/multi_uav.hpp"
+#include "core/skyran.hpp"
+#include "geo/contract.hpp"
+#include "mobility/deployment.hpp"
+
+namespace skyran::core {
+namespace {
+
+sim::World make_world(std::uint64_t seed, int ues,
+                      terrain::TerrainKind kind = terrain::TerrainKind::kCampus,
+                      double cell = 1.0) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = kind;
+  wc.seed = seed;
+  wc.cell_size_m = cell;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_clustered(world.terrain(), ues, 2, 25.0, seed + 1);
+  return world;
+}
+
+MultiSkyRanConfig fast_config(int n_uavs) {
+  MultiSkyRanConfig cfg;
+  cfg.n_uavs = n_uavs;
+  cfg.per_uav.measurement_budget_m = 400.0;
+  cfg.per_uav.localization_mode = LocalizationMode::kPerfect;
+  return cfg;
+}
+
+TEST(MultiSkyRanTest, EpochReportIsConsistent) {
+  sim::World world = make_world(3, 6);
+  MultiSkyRan fleet(world, fast_config(2), 4);
+  const MultiEpochReport r = fleet.run_epoch();
+  EXPECT_EQ(r.epoch, 1);
+  ASSERT_EQ(r.assignment.size(), 6u);
+  ASSERT_EQ(r.uav_positions.size(), 2u);
+  ASSERT_EQ(r.uav_altitudes_m.size(), 2u);
+  for (const int a : r.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 2);
+  }
+  for (const geo::Vec2 p : r.uav_positions) EXPECT_TRUE(world.area().contains(p));
+  EXPECT_GT(r.total_flight_m, 0.0);
+  EXPECT_GT(fleet.mean_throughput_bps(), 0.0);
+}
+
+TEST(MultiSkyRanTest, PartitionFollowsClusters) {
+  // Two far-apart pockets: the two UAVs must split them.
+  sim::World world = make_world(5, 8);
+  MultiSkyRan fleet(world, fast_config(2), 6);
+  const MultiEpochReport r = fleet.run_epoch();
+  // UEs in the same pocket (close together) share a UAV.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      const double d =
+          world.ue_positions()[i].xy().dist(world.ue_positions()[j].xy());
+      if (d < 20.0) EXPECT_EQ(r.assignment[i], r.assignment[j]);
+    }
+  }
+}
+
+TEST(MultiSkyRanTest, MoreUavsNeverHurtMinSnr) {
+  sim::World world = make_world(7, 8);
+  MultiSkyRan solo(world, fast_config(1), 8);
+  solo.run_epoch();
+  const double solo_min = solo.min_snr_db();
+
+  MultiSkyRan duo(world, fast_config(2), 8);
+  duo.run_epoch();
+  const double duo_min = duo.min_snr_db();
+  // Two UAVs each serving one pocket: worst-UE SNR improves (or at least
+  // does not collapse). Loose bound: within 3 dB of solo or better.
+  EXPECT_GT(duo_min, solo_min - 3.0);
+}
+
+TEST(MultiSkyRanTest, SharedStoreAccumulates) {
+  sim::World world = make_world(9, 6);
+  MultiSkyRan fleet(world, fast_config(2), 10);
+  fleet.run_epoch();
+  EXPECT_GE(fleet.rem_store().size(), 4u);  // both UAVs feed one store
+  fleet.run_epoch();
+  EXPECT_EQ(fleet.epochs_run(), 2);
+}
+
+TEST(MultiSkyRanTest, MoreUavsThanUesHandled) {
+  sim::World world = make_world(11, 2);
+  MultiSkyRan fleet(world, fast_config(4), 12);
+  const MultiEpochReport r = fleet.run_epoch();
+  ASSERT_EQ(r.uav_positions.size(), 4u);
+  EXPECT_GT(fleet.mean_throughput_bps(), 0.0);
+}
+
+TEST(MultiSkyRanTest, Contracts) {
+  sim::World world = make_world(13, 4);
+  MultiSkyRanConfig bad = fast_config(0);
+  EXPECT_THROW(MultiSkyRan(world, bad, 1), ContractViolation);
+  MultiSkyRan fleet(world, fast_config(2), 1);
+  EXPECT_THROW(fleet.mean_throughput_bps(), ContractViolation);  // no epoch yet
+  world.ue_positions().clear();
+  EXPECT_THROW(fleet.run_epoch(), ContractViolation);
+}
+
+/// Fleet-size sweep: every size completes an epoch on a larger area.
+class FleetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FleetSweep, EpochCompletes) {
+  sim::World world = make_world(17, 9, terrain::TerrainKind::kLarge, 4.0);
+  MultiSkyRanConfig cfg = fast_config(GetParam());
+  cfg.per_uav.rem_cell_m = 12.0;
+  MultiSkyRan fleet(world, cfg, 18);
+  const MultiEpochReport r = fleet.run_epoch();
+  EXPECT_EQ(r.uav_positions.size(), static_cast<std::size_t>(GetParam()));
+  EXPECT_GT(fleet.mean_throughput_bps(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleetSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace skyran::core

@@ -1,0 +1,224 @@
+// Randomized property tests: invariants that must hold for arbitrary seeds,
+// exercised across a seed sweep (TEST_P). These complement the per-module
+// example-based tests with broader input coverage.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lte/ranging.hpp"
+#include "lte/scheduler.hpp"
+#include "lte/srs_channel.hpp"
+#include "mobility/deployment.hpp"
+#include "rem/gradient.hpp"
+#include "rem/kriging.hpp"
+#include "rem/placement.hpp"
+#include "rem/planner.hpp"
+#include "rem/tsp.hpp"
+#include "rf/units.hpp"
+#include "sim/measurement.hpp"
+#include "sim/world.hpp"
+#include "uav/trajectory.hpp"
+
+namespace skyran {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::uint64_t seed() const { return GetParam(); }
+};
+
+TEST_P(SeedSweep, PlannerToursStayInsideAreaAndBudget) {
+  std::mt19937_64 rng(seed());
+  std::uniform_real_distribution<double> u(5.0, 195.0);
+  rem::Rem map(geo::Rect::square(200.0), 5.0, 60.0, {100.0, 100.0, 1.5});
+  const rf::FsplChannel fspl(2.6e9);
+  map.seed_from_model(fspl, rf::LinkBudget{});
+  std::normal_distribution<double> g(10.0, 8.0);
+  for (int i = 0; i < 300; ++i) map.add_measurement({u(rng), u(rng)}, g(rng));
+
+  rem::PlannerConfig cfg;
+  cfg.budget_m = 100.0 + 50.0 * (seed() % 7);
+  cfg.seed = seed();
+  const std::vector<rem::Rem> rems{map};
+  const rem::PlannedTrajectory plan =
+      rem::plan_measurement_trajectory(rems, {{}}, {100.0, 100.0}, cfg);
+  EXPECT_LE(plan.cost_m, cfg.budget_m + 1e-6);
+  for (const geo::Vec2 p : plan.path.points())
+    EXPECT_TRUE(map.area().contains(p)) << p;
+}
+
+TEST_P(SeedSweep, SchedulerConservesPrbs) {
+  std::mt19937_64 rng(seed());
+  std::uniform_real_distribution<double> snr(-20.0, 35.0);
+  std::uniform_int_distribution<int> n_ues(1, 12);
+  lte::Scheduler sched(lte::bandwidth_config(10.0));
+  for (int round = 0; round < 30; ++round) {
+    std::vector<lte::UeChannelState> ues;
+    const int n = n_ues(rng);
+    for (int i = 0; i < n; ++i)
+      ues.push_back({static_cast<std::uint32_t>(i + 1), snr(rng), (rng() & 1) != 0});
+    const auto alloc = sched.schedule_tti(ues);
+    int total = 0;
+    for (const auto& a : alloc) {
+      EXPECT_GE(a.prb, 0);
+      EXPECT_GE(a.bits, 0.0);
+      total += a.prb;
+    }
+    EXPECT_LE(total, 50);
+  }
+}
+
+TEST_P(SeedSweep, IdwEstimateBoundedBySamples) {
+  std::mt19937_64 rng(seed());
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::uniform_real_distribution<double> val(-30.0, 40.0);
+  std::vector<rem::IdwSample> samples;
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int i = 0; i < 40; ++i) {
+    const double v = val(rng);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    samples.push_back({{u(rng), u(rng)}, v});
+  }
+  const rem::IdwInterpolator idw(samples, geo::Rect::square(100.0));
+  for (int q = 0; q < 50; ++q) {
+    const double e = *idw.estimate({u(rng), u(rng)}, 8, 2.0, 1e9);
+    EXPECT_GE(e, lo - 1e-9);
+    EXPECT_LE(e, hi + 1e-9);
+  }
+}
+
+TEST_P(SeedSweep, KrigingExactAtEverySample) {
+  std::mt19937_64 rng(seed());
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::uniform_real_distribution<double> val(-10.0, 10.0);
+  std::vector<rem::IdwSample> samples;
+  for (int i = 0; i < 25; ++i) samples.push_back({{u(rng), u(rng)}, val(rng)});
+  const rem::KrigingInterpolator k(samples, geo::Rect::square(100.0), rem::Variogram{});
+  for (const rem::IdwSample& s : samples)
+    EXPECT_NEAR(*k.estimate(s.position), s.value, 1e-6);
+}
+
+TEST_P(SeedSweep, MinMapDominatedByEveryInput) {
+  std::mt19937_64 rng(seed());
+  std::normal_distribution<double> g(5.0, 10.0);
+  std::vector<geo::Grid2D<double>> maps;
+  for (int m = 0; m < 4; ++m) {
+    geo::Grid2D<double> grid(geo::Rect::square(60.0), 10.0, 0.0);
+    for (double& v : grid.raw()) v = g(rng);
+    maps.push_back(std::move(grid));
+  }
+  const geo::Grid2D<double> mn = rem::min_snr_map(maps);
+  const geo::Grid2D<double> mean = rem::mean_snr_map(maps);
+  for (std::size_t j = 0; j < mn.raw().size(); ++j) {
+    for (const auto& m : maps) EXPECT_LE(mn.raw()[j], m.raw()[j] + 1e-12);
+    EXPECT_GE(mean.raw()[j], mn.raw()[j] - 1e-12);
+  }
+}
+
+TEST_P(SeedSweep, TspVisitsEveryNodeOnce) {
+  std::mt19937_64 rng(seed());
+  std::uniform_real_distribution<double> u(0.0, 300.0);
+  std::vector<geo::Vec2> nodes;
+  for (int i = 0; i < 14; ++i) nodes.push_back({u(rng), u(rng)});
+  const geo::Path tour = rem::plan_tour({u(rng), u(rng)}, nodes);
+  ASSERT_EQ(tour.size(), nodes.size() + 1);
+  for (const geo::Vec2 n : nodes) {
+    bool found = false;
+    for (std::size_t i = 1; i < tour.size(); ++i)
+      found = found || tour.points()[i] == n;
+    EXPECT_TRUE(found);
+  }
+  // 2-opt never does worse than visiting in the given order.
+  EXPECT_LE(tour.length(), rem::tour_length(tour.points()[0], nodes) + 1e-9);
+}
+
+TEST_P(SeedSweep, ChannelIsSymmetricAndFinite) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kNyc;
+  wc.seed = seed();
+  const sim::World world(wc);
+  std::mt19937_64 rng(seed() ^ 0x77);
+  std::uniform_real_distribution<double> u(5.0, 245.0);
+  std::uniform_real_distribution<double> z(1.5, 120.0);
+  for (int i = 0; i < 40; ++i) {
+    const geo::Vec3 a{u(rng), u(rng), z(rng)};
+    const geo::Vec3 b{u(rng), u(rng), z(rng)};
+    const double ab = world.channel().path_loss_db(a, b);
+    EXPECT_DOUBLE_EQ(ab, world.channel().path_loss_db(b, a));
+    EXPECT_TRUE(std::isfinite(ab));
+    EXPECT_GT(ab, 30.0);   // at least near-field FSPL
+    EXPECT_LT(ab, 250.0);  // capped obstruction keeps losses bounded
+  }
+}
+
+TEST_P(SeedSweep, TofInvertsRandomDelays) {
+  lte::SrsConfig cfg;
+  const lte::SrsSymbol tx = lte::make_srs_symbol(cfg);
+  const lte::TofEstimator est(cfg, 4);
+  std::mt19937_64 rng(seed());
+  std::uniform_real_distribution<double> dist(20.0, 400.0);
+  for (int i = 0; i < 10; ++i) {
+    const double d = dist(rng);
+    lte::SrsChannelParams ch;
+    ch.delay_s = d / rf::kSpeedOfLight;
+    ch.snr_db = 12.0;
+    const lte::TofEstimate e = est.estimate(lte::apply_srs_channel(tx, ch, rng));
+    EXPECT_NEAR(e.distance_m, d, 6.0) << "d=" << d;
+  }
+}
+
+TEST_P(SeedSweep, MeasurementsLandOnTheTrack) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kFlat;
+  wc.seed = seed();
+  sim::World world(wc);
+  world.ue_positions() = {{120.0, 120.0, 1.5}};
+  std::vector<rem::Rem> rems;
+  rems.emplace_back(world.area(), 5.0, 60.0, world.ue_positions()[0]);
+  const geo::Path track = uav::random_walk(world.area().inflated(-10.0), {100.0, 100.0},
+                                           150.0, 25.0, seed());
+  std::mt19937_64 rng(seed() ^ 0x99);
+  sim::run_measurement_flight(world, uav::FlightPlan::at_altitude(track, 60.0), rems, {}, rng);
+  EXPECT_GT(rems[0].measured_cells(), 10u);
+  // Every measured cell center sits within one cell diagonal of the track.
+  rems[0].estimate();  // force no-throw
+  const auto& grid = rems[0];
+  geo::Grid2D<int> probe(world.area(), 5.0, 0);
+  probe.for_each([&](geo::CellIndex c, int&) {
+    if (grid.is_measured(c)) {
+      EXPECT_LT(track.distance_to(probe.center_of(c)), 5.0 * 1.5) << c.ix << "," << c.iy;
+    }
+  });
+}
+
+TEST_P(SeedSweep, DeploymentsAreWalkableEverywhere) {
+  const terrain::Terrain t = terrain::make_nyc(seed(), 2.0);
+  for (const auto& ues :
+       {mobility::deploy_uniform(t, 10, seed() + 1),
+        mobility::deploy_clustered(t, 10, 3, 30.0, seed() + 2),
+        mobility::deploy_mixed_visibility(t, 9, seed() + 3)}) {
+    for (const geo::Vec3& u : ues) {
+      EXPECT_NE(t.clutter_at(u.xy()), terrain::Clutter::kBuilding);
+      EXPECT_TRUE(t.area().contains(u.xy()));
+    }
+  }
+}
+
+TEST_P(SeedSweep, GradientMapNonNegativeAndZeroOnFlat) {
+  std::mt19937_64 rng(seed());
+  std::normal_distribution<double> g(0.0, 5.0);
+  geo::Grid2D<double> snr(geo::Rect::square(80.0), 8.0, 0.0);
+  for (double& v : snr.raw()) v = g(rng);
+  const geo::Grid2D<double> grad = rem::gradient_map(snr);
+  for (const double v : grad.raw()) EXPECT_GE(v, 0.0);
+  snr.fill(7.0);
+  const geo::Grid2D<double> flat_grad = rem::gradient_map(snr);
+  for (const double v : flat_grad.raw()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 7u, 42u, 1337u));
+
+}  // namespace
+}  // namespace skyran

@@ -1,0 +1,86 @@
+// Tests for the RACH attach-storm model.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geo/contract.hpp"
+#include "lte/rach.hpp"
+
+namespace skyran::lte {
+namespace {
+
+TEST(RachTest, SingleUeAttachesImmediately) {
+  std::mt19937_64 rng(1);
+  RachConfig cfg;
+  cfg.base_miss_probability = 0.0;
+  const RachReport r = simulate_attach_storm(1, cfg, rng);
+  ASSERT_EQ(r.per_ue.size(), 1u);
+  EXPECT_TRUE(r.per_ue[0].attached);
+  EXPECT_EQ(r.per_ue[0].attempts, 1);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_NEAR(r.last_attach_ms, cfg.prach_period_ms, 1e-9);
+}
+
+TEST(RachTest, SmallStormAllAttach) {
+  std::mt19937_64 rng(2);
+  RachConfig cfg;
+  cfg.base_miss_probability = 0.0;
+  const RachReport r = simulate_attach_storm(20, cfg, rng);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_GT(r.mean_attempts, 0.99);
+  EXPECT_GT(r.last_attach_ms, 0.0);
+}
+
+TEST(RachTest, BiggerStormTakesLonger) {
+  std::mt19937_64 rng(3);
+  RachConfig cfg;
+  cfg.base_miss_probability = 0.0;
+  double small_sum = 0.0;
+  double big_sum = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    small_sum += simulate_attach_storm(5, cfg, rng).last_attach_ms;
+    big_sum += simulate_attach_storm(120, cfg, rng).last_attach_ms;
+  }
+  EXPECT_GT(big_sum, small_sum);
+}
+
+TEST(RachTest, FewPreamblesCauseCollisions) {
+  std::mt19937_64 rng(4);
+  RachConfig cfg;
+  cfg.n_preambles = 2;  // heavy contention
+  cfg.base_miss_probability = 0.0;
+  const RachReport r = simulate_attach_storm(30, cfg, rng);
+  EXPECT_GT(r.mean_attempts, 1.5);  // collisions forced retries
+}
+
+TEST(RachTest, HighMissProbabilityFailsUes) {
+  std::mt19937_64 rng(5);
+  RachConfig cfg;
+  cfg.max_attempts = 3;
+  const std::vector<double> miss(10, 0.95);
+  const RachReport r = simulate_attach_storm(10, cfg, rng, miss);
+  EXPECT_GT(r.failed, 3);
+  for (const RachUeOutcome& u : r.per_ue)
+    if (!u.attached) EXPECT_EQ(u.attempts, 3);
+}
+
+TEST(RachTest, PerUeMissVectorHonored) {
+  std::mt19937_64 rng(6);
+  RachConfig cfg;
+  cfg.max_attempts = 4;
+  std::vector<double> miss(6, 0.0);
+  miss[0] = 1.0;  // UE 0 can never be heard
+  const RachReport r = simulate_attach_storm(6, cfg, rng, miss);
+  EXPECT_FALSE(r.per_ue[0].attached);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_TRUE(r.per_ue[i].attached);
+}
+
+TEST(RachTest, Contracts) {
+  std::mt19937_64 rng(7);
+  EXPECT_THROW(simulate_attach_storm(0, {}, rng), ContractViolation);
+  const std::vector<double> wrong(3, 0.1);
+  EXPECT_THROW(simulate_attach_storm(5, {}, rng, wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace skyran::lte

@@ -1,0 +1,157 @@
+// Tests for the temporal-aggregation semantics added on top of the basic
+// REM: distance-reporting IDW, background source tracking, prior blending,
+// and the budget-spending multi-round tours in SkyRan.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/skyran.hpp"
+#include "mobility/deployment.hpp"
+#include "rem/idw.hpp"
+#include "rem/rem.hpp"
+#include "rf/channel.hpp"
+
+namespace skyran {
+namespace {
+
+geo::Rect area100() { return geo::Rect::square(100.0); }
+
+TEST(IdwDistanceTest, ReportsNearestSampleDistance) {
+  rem::IdwInterpolator idw({{{10.0, 10.0}, 5.0}, {{90.0, 90.0}, 25.0}}, area100());
+  const auto r = idw.estimate_with_distance({10.0, 20.0}, 4, 2.0, 1e9);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->nearest_m, 10.0, 1e-9);
+  const auto hit = idw.estimate_with_distance({90.0, 90.0}, 4, 2.0, 1e9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->nearest_m, 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(hit->value, 25.0);
+}
+
+TEST(BackgroundSourceTest, TracksProvenance) {
+  rem::Rem fresh(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  EXPECT_EQ(fresh.background_source(), rem::Rem::BackgroundSource::kNone);
+  EXPECT_FALSE(fresh.has_background());
+
+  const rf::FsplChannel fspl(2.6e9);
+  fresh.seed_from_model(fspl, rf::LinkBudget{});
+  EXPECT_EQ(fresh.background_source(), rem::Rem::BackgroundSource::kModel);
+
+  rem::Rem prior(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  prior.add_measurement({50.0, 50.0}, 7.0);
+  rem::Rem next(area100(), 10.0, 50.0, {52.0, 50.0, 1.5});
+  next.seed_from(prior);
+  EXPECT_EQ(next.background_source(), rem::Rem::BackgroundSource::kPrior);
+}
+
+TEST(BackgroundSourceTest, ModelOnlyPriorStaysModel) {
+  // Seeding from a prior that itself holds no measurements must not launder
+  // an FSPL guess into "measured history".
+  const rf::FsplChannel fspl(2.6e9);
+  rem::Rem model_only(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  model_only.seed_from_model(fspl, rf::LinkBudget{});
+  rem::Rem next(area100(), 10.0, 50.0, {51.0, 50.0, 1.5});
+  next.seed_from(model_only);
+  EXPECT_EQ(next.background_source(), rem::Rem::BackgroundSource::kModel);
+}
+
+TEST(PriorBlendTest, FreshDataWinsNearTour) {
+  rem::Rem prior(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  prior.add_measurement({50.0, 50.0}, 100.0);  // prior says 100 dB everywhere
+
+  rem::Rem current(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  current.seed_from(prior);
+  current.add_measurement({15.0, 15.0}, 0.0);  // fresh tour says 0 here
+
+  rem::IdwParams params;
+  params.background_blend_m = 20.0;
+  const geo::Grid2D<double> est = current.estimate(params);
+  // Right next to the fresh measurement: fresh value dominates.
+  EXPECT_LT(est.value_at({18.0, 15.0}), 25.0);
+  // Far corner: the prior dominates.
+  EXPECT_GT(est.value_at({95.0, 95.0}), 90.0);
+}
+
+TEST(PriorBlendTest, ModelBackgroundNotBlended) {
+  const rf::FsplChannel fspl(2.6e9);
+  rem::Rem current(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  current.seed_from_model(fspl, rf::LinkBudget{});
+  current.add_measurement({15.0, 15.0}, -50.0);
+  // With a model background, interpolation alone fills the map: the far
+  // corner equals the lone measurement, not an FSPL blend.
+  const geo::Grid2D<double> est = current.estimate();
+  EXPECT_DOUBLE_EQ(est.value_at({95.0, 95.0}), -50.0);
+}
+
+TEST(PriorBlendTest, ZeroBlendDistanceDisables) {
+  rem::Rem prior(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  prior.add_measurement({50.0, 50.0}, 100.0);
+  rem::Rem current(area100(), 10.0, 50.0, {50.0, 50.0, 1.5});
+  current.seed_from(prior);
+  current.add_measurement({15.0, 15.0}, 0.0);
+  rem::IdwParams params;
+  params.background_blend_m = 0.0;
+  EXPECT_DOUBLE_EQ(current.estimate(params).value_at({95.0, 95.0}), 0.0);
+}
+
+TEST(StorePersistenceTest, SaveLoadRoundTrip) {
+  rem::RemStore store(10.0);
+  rem::Rem a(area100(), 10.0, 50.0, {20.0, 20.0, 1.5});
+  a.add_measurement({15.0, 15.0}, 3.0);
+  a.add_measurement({15.0, 15.0}, 5.0);  // averaged cell: sum 8, count 2
+  a.add_measurement({85.0, 85.0}, -7.0);
+  store.put(a);
+  rem::Rem b(area100(), 10.0, 50.0, {70.0, 70.0, 1.5});
+  b.add_measurement({70.0, 70.0}, 11.0);
+  store.put(b);
+
+  std::stringstream ss;
+  store.save(ss);
+  const rem::RemStore loaded = rem::RemStore::load(ss);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.reuse_radius_m(), 10.0);
+  const rem::Rem* near = loaded.find_near({21.0, 20.0});
+  ASSERT_NE(near, nullptr);
+  const auto cell = near->background().cell_of(geo::Vec2{15.0, 15.0});
+  EXPECT_DOUBLE_EQ(*near->measured_snr(cell), 4.0);  // (3+5)/2
+  EXPECT_EQ(near->measurement_count(cell), 2);
+  EXPECT_DOUBLE_EQ(near->altitude_m(), 50.0);
+}
+
+TEST(StorePersistenceTest, CorruptStreamRejected) {
+  std::stringstream junk("definitely not a rem store");
+  EXPECT_THROW(rem::RemStore::load(junk), std::runtime_error);
+}
+
+TEST(MultiRoundBudgetTest, EpochSpendsMostOfTheBudget) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kCampus;
+  wc.seed = 51;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 5, 52);
+  core::SkyRanConfig cfg;
+  cfg.measurement_budget_m = 900.0;
+  cfg.localization_mode = core::LocalizationMode::kPerfect;
+  core::SkyRan skyran(world, cfg, 53);
+  const core::EpochReport r = skyran.run_epoch();
+  // The multi-round loop keeps flying until < max(60, 10%) of budget is left.
+  EXPECT_GT(r.measurement_flight_m, 0.75 * cfg.measurement_budget_m);
+  EXPECT_LE(r.measurement_flight_m, cfg.measurement_budget_m + 1e-6);
+}
+
+TEST(MultiRoundBudgetTest, UnconstrainedModeFliesOneTour) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kCampus;
+  wc.seed = 54;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 5, 55);
+  core::SkyRanConfig cfg;
+  cfg.measurement_budget_m = 0.0;  // unconstrained: single best-ratio tour
+  cfg.localization_mode = core::LocalizationMode::kPerfect;
+  core::SkyRan skyran(world, cfg, 56);
+  const core::EpochReport r = skyran.run_epoch();
+  EXPECT_GT(r.measurement_flight_m, 0.0);
+  EXPECT_LT(r.measurement_flight_m, 2500.0);  // one tour, not an endless loop
+}
+
+}  // namespace
+}  // namespace skyran

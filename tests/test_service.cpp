@@ -1,0 +1,179 @@
+// Tests for the TTI-level service simulator: traffic models, CQI staleness,
+// HARQ behavior and the hover-vs-fly throughput gap.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geo/contract.hpp"
+#include "mobility/deployment.hpp"
+#include "sim/service.hpp"
+#include "uav/trajectory.hpp"
+
+namespace skyran::sim {
+namespace {
+
+World flat_world_with_ues(std::uint64_t seed, int n_ues) {
+  WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kFlat;
+  wc.seed = seed;
+  World world(wc);
+  for (int i = 0; i < n_ues; ++i)
+    world.ue_positions().push_back({60.0 + 30.0 * i, 120.0, 1.5});
+  return world;
+}
+
+TEST(ServiceTest, FullBufferApproachesAmcBound) {
+  World world = flat_world_with_ues(1, 1);
+  const geo::Vec3 uav{80.0, 120.0, 60.0};
+  ServiceConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.fading_sigma_db = 0.0;  // static channel: no staleness possible
+  std::mt19937_64 rng(2);
+  const ServiceReport r =
+      run_service_hovering(world, uav, {Traffic{}}, cfg, rng);
+  const double bound = lte::throughput_bps(world.snr_db(uav, world.ue_positions()[0]),
+                                           world.carrier());
+  EXPECT_NEAR(r.aggregate_throughput_bps, bound, bound * 0.05);
+  EXPECT_DOUBLE_EQ(r.per_ue[0].harq_failure_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_cqi_staleness_db, 0.0);
+}
+
+TEST(ServiceTest, CellSharedAcrossUes) {
+  World world = flat_world_with_ues(3, 4);
+  const geo::Vec3 uav{100.0, 120.0, 60.0};
+  ServiceConfig cfg;
+  cfg.duration_s = 1.0;
+  cfg.fading_sigma_db = 0.0;
+  std::mt19937_64 rng(4);
+  const std::vector<Traffic> traffic(4, Traffic{});
+  const ServiceReport r = run_service_hovering(world, uav, traffic, cfg, rng);
+  // Equal-ish split under round robin on a flat world.
+  for (const UeServiceStats& u : r.per_ue)
+    EXPECT_NEAR(u.throughput_bps, r.aggregate_throughput_bps / 4.0,
+                r.aggregate_throughput_bps * 0.15);
+}
+
+TEST(ServiceTest, CbrUnderloadServedWithLowDelay) {
+  World world = flat_world_with_ues(5, 1);
+  const geo::Vec3 uav{70.0, 120.0, 60.0};
+  Traffic cbr;
+  cbr.kind = Traffic::Kind::kCbr;
+  cbr.rate_bps = 1e6;  // far below capacity
+  ServiceConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.fading_sigma_db = 0.0;
+  std::mt19937_64 rng(6);
+  const ServiceReport r = run_service_hovering(world, uav, {cbr}, cfg, rng);
+  EXPECT_NEAR(r.per_ue[0].served_bits, r.per_ue[0].offered_bits,
+              r.per_ue[0].offered_bits * 0.05);
+  EXPECT_LT(r.per_ue[0].mean_queue_delay_ms, 5.0);
+}
+
+TEST(ServiceTest, CbrOverloadQueuesAndDrops) {
+  World world = flat_world_with_ues(7, 1);
+  // Put the UE far away: capacity is low.
+  world.ue_positions()[0] = {290.0, 290.0, 1.5};
+  const geo::Vec3 uav{10.0, 10.0, 60.0};
+  Traffic cbr;
+  cbr.kind = Traffic::Kind::kCbr;
+  cbr.rate_bps = 60e6;  // far above any LTE-10MHz capacity
+  ServiceConfig cfg;
+  cfg.duration_s = 1.0;
+  std::mt19937_64 rng(8);
+  const ServiceReport r = run_service_hovering(world, uav, {cbr}, cfg, rng);
+  EXPECT_LT(r.per_ue[0].served_bits, r.per_ue[0].offered_bits * 0.9);
+  EXPECT_GT(r.per_ue[0].mean_queue_delay_ms, 10.0);
+}
+
+TEST(ServiceTest, PoissonOffersRoughlyConfiguredLoad) {
+  World world = flat_world_with_ues(9, 1);
+  const geo::Vec3 uav{70.0, 120.0, 60.0};
+  Traffic pois;
+  pois.kind = Traffic::Kind::kPoisson;
+  pois.rate_bps = 3e6;
+  ServiceConfig cfg;
+  cfg.duration_s = 3.0;
+  std::mt19937_64 rng(10);
+  const ServiceReport r = run_service_hovering(world, uav, {pois}, cfg, rng);
+  EXPECT_NEAR(r.per_ue[0].offered_bits, 3e6 * 3.0, 3e6 * 3.0 * 0.2);
+}
+
+TEST(ServiceTest, FlyingCostsThroughputOnRoughTerrain) {
+  // Same neighborhood, motion as the only difference: hover at a point vs
+  // orbit a 30 m circle around it at cruise speed.
+  WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kCampus;
+  wc.seed = 11;
+  World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 5, 12);
+  const std::vector<Traffic> traffic(5, Traffic{});
+  ServiceConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.cqi_period_ms = 10.0;
+  std::mt19937_64 rng(13);
+
+  const geo::Vec2 anchor = world.area().center() + geo::Vec2{40.0, -30.0};
+  const ServiceReport hover =
+      run_service_hovering(world, {anchor, 60.0}, traffic, cfg, rng);
+
+  std::vector<geo::Vec2> circle;
+  for (int i = 0; i <= 24; ++i) {
+    const double a = 2.0 * M_PI * i / 24.0;
+    circle.push_back(anchor + geo::Vec2{30.0 * std::cos(a), 30.0 * std::sin(a)});
+  }
+  const ServiceReport fly = run_service_flying(
+      world, uav::FlightPlan::at_altitude(geo::Path(circle), 60.0), traffic, cfg, rng);
+  // Motion decorrelates fading inside the CQI loop: the flying cell's
+  // channel knowledge is measurably staler and HARQ failures appear.
+  EXPECT_GT(fly.mean_cqi_staleness_db, hover.mean_cqi_staleness_db * 1.5);
+  double fly_fail = 0.0;
+  double hover_fail = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    fly_fail += fly.per_ue[i].harq_failure_rate;
+    hover_fail += hover.per_ue[i].harq_failure_rate;
+  }
+  EXPECT_GT(fly_fail, hover_fail);
+}
+
+TEST(ServiceTest, BlerMarginTradesFailuresForRate) {
+  WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kCampus;
+  wc.seed = 14;
+  World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 5, 15);
+  const std::vector<Traffic> traffic(5, Traffic{});
+  ServiceConfig aggressive;
+  aggressive.duration_s = 3.0;
+  aggressive.cqi_period_ms = 20.0;  // long loop: staleness bites
+  ServiceConfig safe = aggressive;
+  safe.bler_margin_db = 5.0;
+  const geo::Path track = uav::truncate_to_budget(
+      uav::zigzag(world.area().inflated(-20.0), 60.0), 3.0 * uav::kDefaultCruiseMps);
+  const uav::FlightPlan plan = uav::FlightPlan::at_altitude(track, 60.0);
+  std::mt19937_64 rng_a(16), rng_b(16);  // identical channel draws
+  const ServiceReport agg = run_service_flying(world, plan, traffic, aggressive, rng_a);
+  const ServiceReport sfe = run_service_flying(world, plan, traffic, safe, rng_b);
+  double agg_fail = 0.0;
+  double safe_fail = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    agg_fail += agg.per_ue[i].harq_failure_rate;
+    safe_fail += sfe.per_ue[i].harq_failure_rate;
+  }
+  EXPECT_GT(agg_fail, 0.0);        // motion + slow CQI must cost something
+  EXPECT_LT(safe_fail, agg_fail);  // backoff reduces HARQ losses
+}
+
+TEST(ServiceTest, Contracts) {
+  World world = flat_world_with_ues(17, 2);
+  ServiceConfig cfg;
+  std::mt19937_64 rng(18);
+  EXPECT_THROW(run_service_hovering(world, {0, 0, 60}, {Traffic{}}, cfg, rng),
+               ContractViolation);  // traffic count mismatch
+  cfg.cqi_period_ms = 0.5;
+  EXPECT_THROW(
+      run_service_hovering(world, {0, 0, 60}, {Traffic{}, Traffic{}}, cfg, rng),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace skyran::sim

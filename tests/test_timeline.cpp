@@ -1,0 +1,100 @@
+// Tests for the continuous-time mission timeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/timeline.hpp"
+#include "geo/contract.hpp"
+#include "mobility/deployment.hpp"
+
+namespace skyran::core {
+namespace {
+
+struct Rig {
+  Rig() {
+    sim::WorldConfig wc;
+    wc.terrain_kind = terrain::TerrainKind::kCampus;
+    wc.seed = 61;
+    world = std::make_unique<sim::World>(wc);
+    world->ue_positions() = mobility::deploy_mixed_visibility(world->terrain(), 6, 62);
+  }
+  SkyRanConfig fast_config() const {
+    SkyRanConfig cfg;
+    cfg.measurement_budget_m = 400.0;
+    cfg.localization_mode = LocalizationMode::kGaussianError;
+    cfg.injected_error_m = 8.0;
+    return cfg;
+  }
+  std::unique_ptr<sim::World> world;
+};
+
+TEST(TimelineTest, StaticUesOneEpochOnly) {
+  Rig rig;
+  mobility::StaticMobility mob(rig.world->ue_positions());
+  SkyRan skyran(*rig.world, rig.fast_config(), 63);
+  TimelineConfig tc;
+  tc.duration_s = 600.0;
+  const TimelineResult r = run_timeline(skyran, *rig.world, mob, tc);
+  EXPECT_EQ(r.epochs_run, 1);  // nothing moves: no trigger ever fires
+  EXPECT_GT(r.mean_service_ratio, 0.85);
+  ASSERT_FALSE(r.ratio_series.empty());
+  EXPECT_GE(r.ratio_series.back().first, 600.0 - 1.0);
+}
+
+TEST(TimelineTest, MobilityTriggersReplanning) {
+  Rig rig;
+  mobility::RouteMobility mob(
+      rig.world->terrain(), rig.world->ue_positions(),
+      mobility::make_random_routes(rig.world->terrain(), rig.world->ue_positions(), 5,
+                                   400.0, 64));
+  SkyRan skyran(*rig.world, rig.fast_config(), 65);
+  TimelineConfig tc;
+  tc.duration_s = 2400.0;
+  const TimelineResult r = run_timeline(skyran, *rig.world, mob, tc);
+  EXPECT_GE(r.epochs_run, 2);  // walkers eventually fire the trigger
+  bool saw_trigger = false;
+  for (const TimelineEvent& e : r.events)
+    saw_trigger = saw_trigger || e.kind == TimelineEvent::Kind::kTrigger;
+  EXPECT_TRUE(saw_trigger);
+  EXPECT_GT(r.total_flight_m, 400.0);
+  EXPECT_LT(r.battery_remaining_fraction, 1.0);
+}
+
+TEST(TimelineTest, BatteryFloorSuppressesEpochs) {
+  Rig rig;
+  mobility::EpochRelocateMobility mob(rig.world->terrain(), rig.world->ue_positions(), 1.0,
+                                      66);
+  // Relocate everyone constantly so the trigger would fire often.
+  struct ChurningMobility final : mobility::MobilityModel {
+    explicit ChurningMobility(mobility::EpochRelocateMobility& inner) : inner_(inner) {}
+    const std::vector<geo::Vec3>& positions() const override { return inner_.positions(); }
+    void advance(double) override { inner_.relocate_epoch(); }
+    mobility::EpochRelocateMobility& inner_;
+  } churn(mob);
+
+  SkyRan skyran(*rig.world, rig.fast_config(), 67);
+  TimelineConfig tc;
+  tc.duration_s = 900.0;
+  tc.battery_floor_fraction = 1.01;  // floor above full: epochs after #1 banned
+  const TimelineResult r = run_timeline(skyran, *rig.world, churn, tc);
+  EXPECT_EQ(r.epochs_run, 1);
+  bool saw_hold = false;
+  for (const TimelineEvent& e : r.events)
+    saw_hold = saw_hold || e.kind == TimelineEvent::Kind::kBatteryHold;
+  EXPECT_TRUE(saw_hold);
+}
+
+TEST(TimelineTest, Contracts) {
+  Rig rig;
+  mobility::StaticMobility mob(rig.world->ue_positions());
+  SkyRan skyran(*rig.world, rig.fast_config(), 68);
+  TimelineConfig bad;
+  bad.duration_s = 0.0;
+  EXPECT_THROW(run_timeline(skyran, *rig.world, mob, bad), ContractViolation);
+  skyran.run_epoch();
+  EXPECT_THROW(run_timeline(skyran, *rig.world, mob, TimelineConfig{}),
+               ContractViolation);  // must start fresh
+}
+
+}  // namespace
+}  // namespace skyran::core
