@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backhaul.dir/ablation_backhaul.cpp.o"
+  "CMakeFiles/ablation_backhaul.dir/ablation_backhaul.cpp.o.d"
+  "ablation_backhaul"
+  "ablation_backhaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backhaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_diffraction.dir/ablation_diffraction.cpp.o"
+  "CMakeFiles/ablation_diffraction.dir/ablation_diffraction.cpp.o.d"
+  "ablation_diffraction"
+  "ablation_diffraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diffraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interpolation.dir/ablation_interpolation.cpp.o"
+  "CMakeFiles/ablation_interpolation.dir/ablation_interpolation.cpp.o.d"
+  "ablation_interpolation"
+  "ablation_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

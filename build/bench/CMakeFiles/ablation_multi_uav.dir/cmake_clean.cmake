@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_uav.dir/ablation_multi_uav.cpp.o"
+  "CMakeFiles/ablation_multi_uav.dir/ablation_multi_uav.cpp.o.d"
+  "ablation_multi_uav"
+  "ablation_multi_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probing_cost.dir/ablation_probing_cost.cpp.o"
+  "CMakeFiles/ablation_probing_cost.dir/ablation_probing_cost.cpp.o.d"
+  "ablation_probing_cost"
+  "ablation_probing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

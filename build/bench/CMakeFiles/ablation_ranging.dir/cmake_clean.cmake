@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ranging.dir/ablation_ranging.cpp.o"
+  "CMakeFiles/ablation_ranging.dir/ablation_ranging.cpp.o.d"
+  "ablation_ranging"
+  "ablation_ranging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ranging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

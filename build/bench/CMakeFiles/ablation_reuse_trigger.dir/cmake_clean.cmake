@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reuse_trigger.dir/ablation_reuse_trigger.cpp.o"
+  "CMakeFiles/ablation_reuse_trigger.dir/ablation_reuse_trigger.cpp.o.d"
+  "ablation_reuse_trigger"
+  "ablation_reuse_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reuse_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_positioning_value.dir/fig01_positioning_value.cpp.o"
+  "CMakeFiles/fig01_positioning_value.dir/fig01_positioning_value.cpp.o.d"
+  "fig01_positioning_value"
+  "fig01_positioning_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_positioning_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rem_vs_model.dir/fig04_rem_vs_model.cpp.o"
+  "CMakeFiles/fig04_rem_vs_model.dir/fig04_rem_vs_model.cpp.o.d"
+  "fig04_rem_vs_model"
+  "fig04_rem_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rem_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_location_aware_probing.dir/fig06_location_aware_probing.cpp.o"
+  "CMakeFiles/fig06_location_aware_probing.dir/fig06_location_aware_probing.cpp.o.d"
+  "fig06_location_aware_probing"
+  "fig06_location_aware_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_location_aware_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

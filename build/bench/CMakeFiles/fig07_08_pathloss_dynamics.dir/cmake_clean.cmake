@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_pathloss_dynamics.dir/fig07_08_pathloss_dynamics.cpp.o"
+  "CMakeFiles/fig07_08_pathloss_dynamics.dir/fig07_08_pathloss_dynamics.cpp.o.d"
+  "fig07_08_pathloss_dynamics"
+  "fig07_08_pathloss_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_pathloss_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

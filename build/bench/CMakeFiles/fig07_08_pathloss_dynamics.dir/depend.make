@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_08_pathloss_dynamics.
+# This may be replaced when dependencies are built.

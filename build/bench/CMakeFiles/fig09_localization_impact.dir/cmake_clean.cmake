@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_localization_impact.dir/fig09_localization_impact.cpp.o"
+  "CMakeFiles/fig09_localization_impact.dir/fig09_localization_impact.cpp.o.d"
+  "fig09_localization_impact"
+  "fig09_localization_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_localization_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

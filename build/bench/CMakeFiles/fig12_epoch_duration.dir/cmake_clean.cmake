@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_epoch_duration.dir/fig12_epoch_duration.cpp.o"
+  "CMakeFiles/fig12_epoch_duration.dir/fig12_epoch_duration.cpp.o.d"
+  "fig12_epoch_duration"
+  "fig12_epoch_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_epoch_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_19_localization.dir/fig17_19_localization.cpp.o"
+  "CMakeFiles/fig17_19_localization.dir/fig17_19_localization.cpp.o.d"
+  "fig17_19_localization"
+  "fig17_19_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_19_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

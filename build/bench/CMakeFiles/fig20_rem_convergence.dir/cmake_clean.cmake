@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_rem_convergence.dir/fig20_rem_convergence.cpp.o"
+  "CMakeFiles/fig20_rem_convergence.dir/fig20_rem_convergence.cpp.o.d"
+  "fig20_rem_convergence"
+  "fig20_rem_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_rem_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_centroid_gap.dir/fig21_centroid_gap.cpp.o"
+  "CMakeFiles/fig21_centroid_gap.dir/fig21_centroid_gap.cpp.o.d"
+  "fig21_centroid_gap"
+  "fig21_centroid_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_centroid_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_24_topologies.dir/fig23_24_topologies.cpp.o"
+  "CMakeFiles/fig23_24_topologies.dir/fig23_24_topologies.cpp.o.d"
+  "fig23_24_topologies"
+  "fig23_24_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_24_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_28_scaleup_overhead.dir/fig26_28_scaleup_overhead.cpp.o"
+  "CMakeFiles/fig26_28_scaleup_overhead.dir/fig26_28_scaleup_overhead.cpp.o.d"
+  "fig26_28_scaleup_overhead"
+  "fig26_28_scaleup_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_28_scaleup_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig26_28_scaleup_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig29_31_budget5000.dir/fig29_31_budget5000.cpp.o"
+  "CMakeFiles/fig29_31_budget5000.dir/fig29_31_budget5000.cpp.o.d"
+  "fig29_31_budget5000"
+  "fig29_31_budget5000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_31_budget5000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

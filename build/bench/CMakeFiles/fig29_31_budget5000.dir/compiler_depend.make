@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig29_31_budget5000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dsp.dir/micro_dsp.cpp.o"
+  "CMakeFiles/micro_dsp.dir/micro_dsp.cpp.o.d"
+  "micro_dsp"
+  "micro_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disaster_recovery.dir/disaster_recovery.cpp.o"
+  "CMakeFiles/example_disaster_recovery.dir/disaster_recovery.cpp.o.d"
+  "example_disaster_recovery"
+  "example_disaster_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disaster_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_localization_demo.dir/localization_demo.cpp.o"
+  "CMakeFiles/example_localization_demo.dir/localization_demo.cpp.o.d"
+  "example_localization_demo"
+  "example_localization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_localization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_uav_fleet.dir/multi_uav_fleet.cpp.o"
+  "CMakeFiles/example_multi_uav_fleet.dir/multi_uav_fleet.cpp.o.d"
+  "example_multi_uav_fleet"
+  "example_multi_uav_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_uav_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_multi_uav_fleet.
+# This may be replaced when dependencies are built.

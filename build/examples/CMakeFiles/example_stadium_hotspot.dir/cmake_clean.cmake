@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stadium_hotspot.dir/stadium_hotspot.cpp.o"
+  "CMakeFiles/example_stadium_hotspot.dir/stadium_hotspot.cpp.o.d"
+  "example_stadium_hotspot"
+  "example_stadium_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stadium_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

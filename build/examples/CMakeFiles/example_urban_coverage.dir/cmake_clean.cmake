@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_urban_coverage.dir/urban_coverage.cpp.o"
+  "CMakeFiles/example_urban_coverage.dir/urban_coverage.cpp.o.d"
+  "example_urban_coverage"
+  "example_urban_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_urban_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_urban_coverage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_core.dir/multi_uav.cpp.o"
+  "CMakeFiles/skyran_core.dir/multi_uav.cpp.o.d"
+  "CMakeFiles/skyran_core.dir/skyran.cpp.o"
+  "CMakeFiles/skyran_core.dir/skyran.cpp.o.d"
+  "CMakeFiles/skyran_core.dir/timeline.cpp.o"
+  "CMakeFiles/skyran_core.dir/timeline.cpp.o.d"
+  "libskyran_core.a"
+  "libskyran_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/noise.cpp" "src/geo/CMakeFiles/skyran_geo.dir/noise.cpp.o" "gcc" "src/geo/CMakeFiles/skyran_geo.dir/noise.cpp.o.d"
+  "/root/repo/src/geo/path.cpp" "src/geo/CMakeFiles/skyran_geo.dir/path.cpp.o" "gcc" "src/geo/CMakeFiles/skyran_geo.dir/path.cpp.o.d"
+  "/root/repo/src/geo/stats.cpp" "src/geo/CMakeFiles/skyran_geo.dir/stats.cpp.o" "gcc" "src/geo/CMakeFiles/skyran_geo.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

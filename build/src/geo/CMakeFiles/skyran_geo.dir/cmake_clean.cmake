@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_geo.dir/noise.cpp.o"
+  "CMakeFiles/skyran_geo.dir/noise.cpp.o.d"
+  "CMakeFiles/skyran_geo.dir/path.cpp.o"
+  "CMakeFiles/skyran_geo.dir/path.cpp.o.d"
+  "CMakeFiles/skyran_geo.dir/stats.cpp.o"
+  "CMakeFiles/skyran_geo.dir/stats.cpp.o.d"
+  "libskyran_geo.a"
+  "libskyran_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localization/baselines.cpp" "src/localization/CMakeFiles/skyran_localization.dir/baselines.cpp.o" "gcc" "src/localization/CMakeFiles/skyran_localization.dir/baselines.cpp.o.d"
+  "/root/repo/src/localization/localizer.cpp" "src/localization/CMakeFiles/skyran_localization.dir/localizer.cpp.o" "gcc" "src/localization/CMakeFiles/skyran_localization.dir/localizer.cpp.o.d"
+  "/root/repo/src/localization/multilateration.cpp" "src/localization/CMakeFiles/skyran_localization.dir/multilateration.cpp.o" "gcc" "src/localization/CMakeFiles/skyran_localization.dir/multilateration.cpp.o.d"
+  "/root/repo/src/localization/pipeline.cpp" "src/localization/CMakeFiles/skyran_localization.dir/pipeline.cpp.o" "gcc" "src/localization/CMakeFiles/skyran_localization.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/skyran_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/skyran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyran_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/skyran_terrain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_localization.dir/baselines.cpp.o"
+  "CMakeFiles/skyran_localization.dir/baselines.cpp.o.d"
+  "CMakeFiles/skyran_localization.dir/localizer.cpp.o"
+  "CMakeFiles/skyran_localization.dir/localizer.cpp.o.d"
+  "CMakeFiles/skyran_localization.dir/multilateration.cpp.o"
+  "CMakeFiles/skyran_localization.dir/multilateration.cpp.o.d"
+  "CMakeFiles/skyran_localization.dir/pipeline.cpp.o"
+  "CMakeFiles/skyran_localization.dir/pipeline.cpp.o.d"
+  "libskyran_localization.a"
+  "libskyran_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skyran_localization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/amc.cpp" "src/lte/CMakeFiles/skyran_lte.dir/amc.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/amc.cpp.o.d"
+  "/root/repo/src/lte/backhaul.cpp" "src/lte/CMakeFiles/skyran_lte.dir/backhaul.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/backhaul.cpp.o.d"
+  "/root/repo/src/lte/enodeb.cpp" "src/lte/CMakeFiles/skyran_lte.dir/enodeb.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/enodeb.cpp.o.d"
+  "/root/repo/src/lte/epc.cpp" "src/lte/CMakeFiles/skyran_lte.dir/epc.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/epc.cpp.o.d"
+  "/root/repo/src/lte/fft.cpp" "src/lte/CMakeFiles/skyran_lte.dir/fft.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/fft.cpp.o.d"
+  "/root/repo/src/lte/rach.cpp" "src/lte/CMakeFiles/skyran_lte.dir/rach.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/rach.cpp.o.d"
+  "/root/repo/src/lte/ranging.cpp" "src/lte/CMakeFiles/skyran_lte.dir/ranging.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/ranging.cpp.o.d"
+  "/root/repo/src/lte/sampling.cpp" "src/lte/CMakeFiles/skyran_lte.dir/sampling.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/sampling.cpp.o.d"
+  "/root/repo/src/lte/scheduler.cpp" "src/lte/CMakeFiles/skyran_lte.dir/scheduler.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/scheduler.cpp.o.d"
+  "/root/repo/src/lte/srs.cpp" "src/lte/CMakeFiles/skyran_lte.dir/srs.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/srs.cpp.o.d"
+  "/root/repo/src/lte/srs_channel.cpp" "src/lte/CMakeFiles/skyran_lte.dir/srs_channel.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/srs_channel.cpp.o.d"
+  "/root/repo/src/lte/zadoff_chu.cpp" "src/lte/CMakeFiles/skyran_lte.dir/zadoff_chu.cpp.o" "gcc" "src/lte/CMakeFiles/skyran_lte.dir/zadoff_chu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/skyran_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/skyran_terrain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_lte.dir/amc.cpp.o"
+  "CMakeFiles/skyran_lte.dir/amc.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/backhaul.cpp.o"
+  "CMakeFiles/skyran_lte.dir/backhaul.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/enodeb.cpp.o"
+  "CMakeFiles/skyran_lte.dir/enodeb.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/epc.cpp.o"
+  "CMakeFiles/skyran_lte.dir/epc.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/fft.cpp.o"
+  "CMakeFiles/skyran_lte.dir/fft.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/rach.cpp.o"
+  "CMakeFiles/skyran_lte.dir/rach.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/ranging.cpp.o"
+  "CMakeFiles/skyran_lte.dir/ranging.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/sampling.cpp.o"
+  "CMakeFiles/skyran_lte.dir/sampling.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/scheduler.cpp.o"
+  "CMakeFiles/skyran_lte.dir/scheduler.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/srs.cpp.o"
+  "CMakeFiles/skyran_lte.dir/srs.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/srs_channel.cpp.o"
+  "CMakeFiles/skyran_lte.dir/srs_channel.cpp.o.d"
+  "CMakeFiles/skyran_lte.dir/zadoff_chu.cpp.o"
+  "CMakeFiles/skyran_lte.dir/zadoff_chu.cpp.o.d"
+  "libskyran_lte.a"
+  "libskyran_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

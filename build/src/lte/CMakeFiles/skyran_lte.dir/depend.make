@@ -1,0 +1,2 @@
+# Empty dependencies file for skyran_lte.
+# This may be replaced when dependencies are built.

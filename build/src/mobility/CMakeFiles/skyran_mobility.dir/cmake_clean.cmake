@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_mobility.dir/deployment.cpp.o"
+  "CMakeFiles/skyran_mobility.dir/deployment.cpp.o.d"
+  "CMakeFiles/skyran_mobility.dir/model.cpp.o"
+  "CMakeFiles/skyran_mobility.dir/model.cpp.o.d"
+  "libskyran_mobility.a"
+  "libskyran_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rem/gradient.cpp" "src/rem/CMakeFiles/skyran_rem.dir/gradient.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/gradient.cpp.o.d"
+  "/root/repo/src/rem/idw.cpp" "src/rem/CMakeFiles/skyran_rem.dir/idw.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/idw.cpp.o.d"
+  "/root/repo/src/rem/info_gain.cpp" "src/rem/CMakeFiles/skyran_rem.dir/info_gain.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/info_gain.cpp.o.d"
+  "/root/repo/src/rem/kmeans.cpp" "src/rem/CMakeFiles/skyran_rem.dir/kmeans.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/kmeans.cpp.o.d"
+  "/root/repo/src/rem/kriging.cpp" "src/rem/CMakeFiles/skyran_rem.dir/kriging.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/kriging.cpp.o.d"
+  "/root/repo/src/rem/layered.cpp" "src/rem/CMakeFiles/skyran_rem.dir/layered.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/layered.cpp.o.d"
+  "/root/repo/src/rem/placement.cpp" "src/rem/CMakeFiles/skyran_rem.dir/placement.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/placement.cpp.o.d"
+  "/root/repo/src/rem/planner.cpp" "src/rem/CMakeFiles/skyran_rem.dir/planner.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/planner.cpp.o.d"
+  "/root/repo/src/rem/rem.cpp" "src/rem/CMakeFiles/skyran_rem.dir/rem.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/rem.cpp.o.d"
+  "/root/repo/src/rem/store.cpp" "src/rem/CMakeFiles/skyran_rem.dir/store.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/store.cpp.o.d"
+  "/root/repo/src/rem/tsp.cpp" "src/rem/CMakeFiles/skyran_rem.dir/tsp.cpp.o" "gcc" "src/rem/CMakeFiles/skyran_rem.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/skyran_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyran_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/skyran_terrain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

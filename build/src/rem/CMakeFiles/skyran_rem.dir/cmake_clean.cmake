@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_rem.dir/gradient.cpp.o"
+  "CMakeFiles/skyran_rem.dir/gradient.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/idw.cpp.o"
+  "CMakeFiles/skyran_rem.dir/idw.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/info_gain.cpp.o"
+  "CMakeFiles/skyran_rem.dir/info_gain.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/kmeans.cpp.o"
+  "CMakeFiles/skyran_rem.dir/kmeans.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/kriging.cpp.o"
+  "CMakeFiles/skyran_rem.dir/kriging.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/layered.cpp.o"
+  "CMakeFiles/skyran_rem.dir/layered.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/placement.cpp.o"
+  "CMakeFiles/skyran_rem.dir/placement.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/planner.cpp.o"
+  "CMakeFiles/skyran_rem.dir/planner.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/rem.cpp.o"
+  "CMakeFiles/skyran_rem.dir/rem.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/store.cpp.o"
+  "CMakeFiles/skyran_rem.dir/store.cpp.o.d"
+  "CMakeFiles/skyran_rem.dir/tsp.cpp.o"
+  "CMakeFiles/skyran_rem.dir/tsp.cpp.o.d"
+  "libskyran_rem.a"
+  "libskyran_rem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_rem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

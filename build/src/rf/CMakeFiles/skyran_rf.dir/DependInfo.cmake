@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/antenna.cpp" "src/rf/CMakeFiles/skyran_rf.dir/antenna.cpp.o" "gcc" "src/rf/CMakeFiles/skyran_rf.dir/antenna.cpp.o.d"
+  "/root/repo/src/rf/channel.cpp" "src/rf/CMakeFiles/skyran_rf.dir/channel.cpp.o" "gcc" "src/rf/CMakeFiles/skyran_rf.dir/channel.cpp.o.d"
+  "/root/repo/src/rf/models.cpp" "src/rf/CMakeFiles/skyran_rf.dir/models.cpp.o" "gcc" "src/rf/CMakeFiles/skyran_rf.dir/models.cpp.o.d"
+  "/root/repo/src/rf/raytrace.cpp" "src/rf/CMakeFiles/skyran_rf.dir/raytrace.cpp.o" "gcc" "src/rf/CMakeFiles/skyran_rf.dir/raytrace.cpp.o.d"
+  "/root/repo/src/rf/shadowing.cpp" "src/rf/CMakeFiles/skyran_rf.dir/shadowing.cpp.o" "gcc" "src/rf/CMakeFiles/skyran_rf.dir/shadowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/skyran_terrain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

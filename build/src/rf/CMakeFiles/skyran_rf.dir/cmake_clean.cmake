@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_rf.dir/antenna.cpp.o"
+  "CMakeFiles/skyran_rf.dir/antenna.cpp.o.d"
+  "CMakeFiles/skyran_rf.dir/channel.cpp.o"
+  "CMakeFiles/skyran_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/skyran_rf.dir/models.cpp.o"
+  "CMakeFiles/skyran_rf.dir/models.cpp.o.d"
+  "CMakeFiles/skyran_rf.dir/raytrace.cpp.o"
+  "CMakeFiles/skyran_rf.dir/raytrace.cpp.o.d"
+  "CMakeFiles/skyran_rf.dir/shadowing.cpp.o"
+  "CMakeFiles/skyran_rf.dir/shadowing.cpp.o.d"
+  "libskyran_rf.a"
+  "libskyran_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baselines.cpp" "src/sim/CMakeFiles/skyran_sim.dir/baselines.cpp.o" "gcc" "src/sim/CMakeFiles/skyran_sim.dir/baselines.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/skyran_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/skyran_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/measurement.cpp" "src/sim/CMakeFiles/skyran_sim.dir/measurement.cpp.o" "gcc" "src/sim/CMakeFiles/skyran_sim.dir/measurement.cpp.o.d"
+  "/root/repo/src/sim/service.cpp" "src/sim/CMakeFiles/skyran_sim.dir/service.cpp.o" "gcc" "src/sim/CMakeFiles/skyran_sim.dir/service.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/skyran_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/skyran_sim.dir/table.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/skyran_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/skyran_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/skyran_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/skyran_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/skyran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyran_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/rem/CMakeFiles/skyran_rem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/skyran_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_sim.dir/baselines.cpp.o"
+  "CMakeFiles/skyran_sim.dir/baselines.cpp.o.d"
+  "CMakeFiles/skyran_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/skyran_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/skyran_sim.dir/measurement.cpp.o"
+  "CMakeFiles/skyran_sim.dir/measurement.cpp.o.d"
+  "CMakeFiles/skyran_sim.dir/service.cpp.o"
+  "CMakeFiles/skyran_sim.dir/service.cpp.o.d"
+  "CMakeFiles/skyran_sim.dir/table.cpp.o"
+  "CMakeFiles/skyran_sim.dir/table.cpp.o.d"
+  "CMakeFiles/skyran_sim.dir/world.cpp.o"
+  "CMakeFiles/skyran_sim.dir/world.cpp.o.d"
+  "libskyran_sim.a"
+  "libskyran_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/terrain/io.cpp" "src/terrain/CMakeFiles/skyran_terrain.dir/io.cpp.o" "gcc" "src/terrain/CMakeFiles/skyran_terrain.dir/io.cpp.o.d"
+  "/root/repo/src/terrain/lidar.cpp" "src/terrain/CMakeFiles/skyran_terrain.dir/lidar.cpp.o" "gcc" "src/terrain/CMakeFiles/skyran_terrain.dir/lidar.cpp.o.d"
+  "/root/repo/src/terrain/synth.cpp" "src/terrain/CMakeFiles/skyran_terrain.dir/synth.cpp.o" "gcc" "src/terrain/CMakeFiles/skyran_terrain.dir/synth.cpp.o.d"
+  "/root/repo/src/terrain/terrain.cpp" "src/terrain/CMakeFiles/skyran_terrain.dir/terrain.cpp.o" "gcc" "src/terrain/CMakeFiles/skyran_terrain.dir/terrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

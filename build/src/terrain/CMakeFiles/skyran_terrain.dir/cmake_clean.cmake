@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_terrain.dir/io.cpp.o"
+  "CMakeFiles/skyran_terrain.dir/io.cpp.o.d"
+  "CMakeFiles/skyran_terrain.dir/lidar.cpp.o"
+  "CMakeFiles/skyran_terrain.dir/lidar.cpp.o.d"
+  "CMakeFiles/skyran_terrain.dir/synth.cpp.o"
+  "CMakeFiles/skyran_terrain.dir/synth.cpp.o.d"
+  "CMakeFiles/skyran_terrain.dir/terrain.cpp.o"
+  "CMakeFiles/skyran_terrain.dir/terrain.cpp.o.d"
+  "libskyran_terrain.a"
+  "libskyran_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

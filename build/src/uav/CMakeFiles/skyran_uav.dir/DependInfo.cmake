@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uav/battery.cpp" "src/uav/CMakeFiles/skyran_uav.dir/battery.cpp.o" "gcc" "src/uav/CMakeFiles/skyran_uav.dir/battery.cpp.o.d"
+  "/root/repo/src/uav/flight.cpp" "src/uav/CMakeFiles/skyran_uav.dir/flight.cpp.o" "gcc" "src/uav/CMakeFiles/skyran_uav.dir/flight.cpp.o.d"
+  "/root/repo/src/uav/gps.cpp" "src/uav/CMakeFiles/skyran_uav.dir/gps.cpp.o" "gcc" "src/uav/CMakeFiles/skyran_uav.dir/gps.cpp.o.d"
+  "/root/repo/src/uav/trajectory.cpp" "src/uav/CMakeFiles/skyran_uav.dir/trajectory.cpp.o" "gcc" "src/uav/CMakeFiles/skyran_uav.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

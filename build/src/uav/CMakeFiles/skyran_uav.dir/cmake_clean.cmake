@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_uav.dir/battery.cpp.o"
+  "CMakeFiles/skyran_uav.dir/battery.cpp.o.d"
+  "CMakeFiles/skyran_uav.dir/flight.cpp.o"
+  "CMakeFiles/skyran_uav.dir/flight.cpp.o.d"
+  "CMakeFiles/skyran_uav.dir/gps.cpp.o"
+  "CMakeFiles/skyran_uav.dir/gps.cpp.o.d"
+  "CMakeFiles/skyran_uav.dir/trajectory.cpp.o"
+  "CMakeFiles/skyran_uav.dir/trajectory.cpp.o.d"
+  "libskyran_uav.a"
+  "libskyran_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

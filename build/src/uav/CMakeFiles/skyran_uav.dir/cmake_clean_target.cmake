@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyran_uav.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backhaul.dir/test_backhaul.cpp.o"
+  "CMakeFiles/test_backhaul.dir/test_backhaul.cpp.o.d"
+  "test_backhaul"
+  "test_backhaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backhaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skyran_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localization/CMakeFiles/skyran_localization.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/skyran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/rem/CMakeFiles/skyran_rem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/skyran_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/skyran_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/skyran_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/skyran_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/skyran_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kriging.dir/test_kriging.cpp.o"
+  "CMakeFiles/test_kriging.dir/test_kriging.cpp.o.d"
+  "test_kriging"
+  "test_kriging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layered.dir/test_layered.cpp.o"
+  "CMakeFiles/test_layered.dir/test_layered.cpp.o.d"
+  "test_layered"
+  "test_layered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_mac.dir/test_lte_mac.cpp.o"
+  "CMakeFiles/test_lte_mac.dir/test_lte_mac.cpp.o.d"
+  "test_lte_mac"
+  "test_lte_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

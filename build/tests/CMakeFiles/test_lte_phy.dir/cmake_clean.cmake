@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_phy.dir/test_lte_phy.cpp.o"
+  "CMakeFiles/test_lte_phy.dir/test_lte_phy.cpp.o.d"
+  "test_lte_phy"
+  "test_lte_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

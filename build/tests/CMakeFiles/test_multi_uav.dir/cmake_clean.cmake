@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_uav.dir/test_multi_uav.cpp.o"
+  "CMakeFiles/test_multi_uav.dir/test_multi_uav.cpp.o.d"
+  "test_multi_uav"
+  "test_multi_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rach.dir/test_rach.cpp.o"
+  "CMakeFiles/test_rach.dir/test_rach.cpp.o.d"
+  "test_rach"
+  "test_rach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

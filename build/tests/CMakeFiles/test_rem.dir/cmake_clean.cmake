@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rem.dir/test_rem.cpp.o"
+  "CMakeFiles/test_rem.dir/test_rem.cpp.o.d"
+  "test_rem"
+  "test_rem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rem_aggregation.dir/test_rem_aggregation.cpp.o"
+  "CMakeFiles/test_rem_aggregation.dir/test_rem_aggregation.cpp.o.d"
+  "test_rem_aggregation"
+  "test_rem_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rem_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

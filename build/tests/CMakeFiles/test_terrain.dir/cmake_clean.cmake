@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_terrain.dir/test_terrain.cpp.o"
+  "CMakeFiles/test_terrain.dir/test_terrain.cpp.o.d"
+  "test_terrain"
+  "test_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

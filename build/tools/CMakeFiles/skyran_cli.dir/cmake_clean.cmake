@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyran_cli.dir/skyran_cli.cpp.o"
+  "CMakeFiles/skyran_cli.dir/skyran_cli.cpp.o.d"
+  "skyran_cli"
+  "skyran_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyran_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
