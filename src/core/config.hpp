@@ -57,6 +57,13 @@ struct SkyRanConfig {
   /// remainder is reserved for serving and returning home (Sec 2.5: "the
   /// shorter the measurement flight, the longer the LTE endurance").
   double battery_reserve_fraction = 0.3;
+
+  /// Worker threads for the per-epoch hot paths (SRS correlation, REM
+  /// interpolation, k-means, placement scoring). 0 = auto: the
+  /// SKYRAN_THREADS environment variable if set, else hardware concurrency.
+  /// 1 forces fully serial execution. Parallel results are bit-for-bit
+  /// identical to serial (see DESIGN.md, "Concurrency model").
+  int threads = 0;
 };
 
 }  // namespace skyran::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 #include "sim/measurement.hpp"
 
@@ -18,6 +19,8 @@ SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
   expects(config.epoch_drop_threshold > 0.0 && config.epoch_drop_threshold < 1.0,
           "SkyRan: epoch trigger threshold must be in (0,1)");
   expects(config.rem_cell_m > 0.0, "SkyRan: REM cell size must be positive");
+  expects(config.threads >= 0, "SkyRan: thread count must be >= 0 (0 = auto)");
+  if (config.threads > 0) set_global_workers(config.threads);
 }
 
 rem::TrajectoryHistory& SkyRan::history_for(geo::Vec2 ue_position) {

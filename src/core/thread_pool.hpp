@@ -1,0 +1,105 @@
+// Reusable concurrency layer for the per-epoch hot paths (SRS correlation,
+// REM interpolation, k-means sweeps, placement scoring). A fixed pool of
+// worker threads executes index-chunked parallel loops with a determinism
+// contract: chunk boundaries are a function of the range length only (never
+// of the worker count), so a chunked reduction combines partial results in
+// the same order no matter how many threads ran, and parallel output is
+// bit-for-bit identical to serial output. Worker count resolves as
+// explicit set_global_workers() > SKYRAN_THREADS env var > hardware
+// concurrency; a count of 1 forces fully inline serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skyran::core {
+
+/// Body of a chunked loop: receives (chunk_index, begin, end) with
+/// begin/end indices into the caller's range. Chunks are disjoint and cover
+/// the range; chunk_index orders them (chunk c covers [c*grain, ...)).
+using ChunkBody = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+class ThreadPool {
+ public:
+  /// Pool with `workers` total execution lanes (the calling thread counts as
+  /// one: `workers - 1` threads are spawned). workers == 1 spawns nothing
+  /// and every run_chunks call executes inline, in chunk order.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return workers_; }
+
+  /// Split [0, n) into ceil(n / grain) chunks and run `body` once per chunk.
+  /// Blocks until every chunk completed; the calling thread participates.
+  /// The first exception thrown by any chunk is rethrown here. grain == 0
+  /// picks default_grain(n). Nested calls from inside a body are safe (the
+  /// inner call degrades toward inline execution when workers are busy).
+  void run_chunks(std::size_t n, std::size_t grain, const ChunkBody& body);
+
+  /// Deterministic chunking used when the caller does not pick a grain:
+  /// at most 64 chunks, independent of the worker count.
+  static std::size_t default_grain(std::size_t n);
+
+ private:
+  void worker_loop();
+
+  int workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// std::thread::hardware_concurrency with a floor of 1.
+int hardware_workers();
+
+/// Worker count the global pool will use: explicit override if set, else a
+/// positive integer SKYRAN_THREADS environment variable, else hardware.
+int configured_workers();
+
+/// Override the global worker count (tests, config plumbing). workers <= 0
+/// clears the override back to auto. Takes effect on the next global_pool()
+/// call; do not call while parallel work is in flight.
+void set_global_workers(int workers);
+
+/// Process-wide pool, (re)built lazily to match configured_workers().
+ThreadPool& global_pool();
+
+/// Chunked parallel loop over [0, n) on the global pool.
+void parallel_for_chunks(std::size_t n, std::size_t grain, const ChunkBody& body);
+
+/// Element-wise parallel loop over [0, n) on the global pool. `fn` must be
+/// safe to run concurrently for distinct indices; iteration order within a
+/// chunk is ascending.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 0);
+
+/// Deterministic parallel reduction: per_chunk(begin, end) -> T runs per
+/// chunk in parallel, then partials are combined serially in chunk order
+/// starting from `identity`. Because chunk boundaries depend only on n and
+/// grain, the result is bit-for-bit independent of the worker count.
+template <typename T, typename PerChunk, typename Combine>
+T parallel_reduce(std::size_t n, std::size_t grain, T identity, PerChunk&& per_chunk,
+                  Combine&& combine) {
+  if (n == 0) return identity;
+  if (grain == 0) grain = ThreadPool::default_grain(n);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(chunks, identity);
+  parallel_for_chunks(n, grain,
+                      [&](std::size_t c, std::size_t begin, std::size_t end) {
+                        partial[c] = per_chunk(begin, end);
+                      });
+  T acc = identity;
+  for (std::size_t c = 0; c < chunks; ++c) acc = combine(acc, partial[c]);
+  return acc;
+}
+
+}  // namespace skyran::core

@@ -20,14 +20,17 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
   const int srs_per_gps =
       std::max(1, static_cast<int>(std::round(config.srs_rate_hz / config.gps_rate_hz)));
 
-  GpsTofSeries out;
-  out.reserve(flight.size());
-  for (std::size_t i = 0; i + 1 < flight.size(); ++i) {
+  // Three phases keep the output bit-identical to a fully serial sweep while
+  // the expensive part runs on the thread pool: (1) synthesize every received
+  // symbol in flight order (the channel/noise RNG stream is strictly
+  // sequential), (2) cross-correlate the whole batch in parallel, (3)
+  // aggregate per GPS interval, consuming the GPS sensor in interval order.
+  std::vector<lte::SrsSymbol> received;
+  std::vector<std::size_t> received_interval;
+  const std::size_t n_intervals = flight.size() - 1;
+  for (std::size_t i = 0; i < n_intervals; ++i) {
     const uav::FlightSample& a = flight[i];
     const uav::FlightSample& b = flight[i + 1];
-
-    double tof_distance_sum = 0.0;
-    int tof_count = 0;
     for (int m = 0; m < srs_per_gps; ++m) {
       // UAV keeps moving between SRS reports: interpolate the true position.
       const double frac = static_cast<double>(m) / srs_per_gps;
@@ -46,15 +49,28 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
                                       config.nlos_first_tap_power_db,
                                       config.nlos_tap_decay_db, rng);
       }
-      const lte::SrsSymbol rx = lte::apply_srs_channel(tx, ch, rng);
-      tof_distance_sum += estimator.estimate(rx).distance_m;
-      ++tof_count;
+      received.push_back(lte::apply_srs_channel(tx, ch, rng));
+      received_interval.push_back(i);
     }
-    if (tof_count == 0) continue;
+  }
 
+  const std::vector<lte::TofEstimate> estimates = estimator.estimate_batch(received);
+
+  std::vector<double> distance_sums(n_intervals, 0.0);
+  std::vector<int> tof_counts(n_intervals, 0);
+  for (std::size_t s = 0; s < estimates.size(); ++s) {
+    distance_sums[received_interval[s]] += estimates[s].distance_m;
+    ++tof_counts[received_interval[s]];
+  }
+
+  GpsTofSeries out;
+  out.reserve(flight.size());
+  for (std::size_t i = 0; i < n_intervals; ++i) {
+    if (tof_counts[i] == 0) continue;
+    const uav::FlightSample& a = flight[i];
     const uav::GpsFix fix = gps.sample(a.position, a.time_s);
     if (!fix.valid) continue;  // outage: a ToF without a position is useless
-    out.push_back({fix.time_s, fix.position, tof_distance_sum / tof_count});
+    out.push_back({fix.time_s, fix.position, distance_sums[i] / tof_counts[i]});
   }
   return out;
 }

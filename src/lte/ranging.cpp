@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 #include "rf/units.hpp"
 
@@ -88,6 +89,13 @@ TofEstimate TofEstimator::estimate(const SrsSymbol& received) const {
       (total_mag - best_mag) / static_cast<double>(window > 1 ? window - 1 : 1);
   out.peak_to_side_db =
       mean_off_peak > 0.0 ? rf::linear_to_db(best_mag / mean_off_peak) : 0.0;
+  return out;
+}
+
+std::vector<TofEstimate> TofEstimator::estimate_batch(
+    std::span<const SrsSymbol> received) const {
+  std::vector<TofEstimate> out(received.size());
+  core::parallel_for(received.size(), [&](std::size_t i) { out[i] = estimate(received[i]); });
   return out;
 }
 

@@ -4,6 +4,9 @@
 // peak position is the delay estimate.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "lte/srs.hpp"
 
 namespace skyran::lte {
@@ -33,6 +36,11 @@ class TofEstimator {
   /// Estimate the delay of `received` relative to the known transmitted
   /// symbol for this config.
   TofEstimate estimate(const SrsSymbol& received) const;
+
+  /// estimate() over a batch of received symbols, parallelized across
+  /// symbols on the global thread pool. out[i] == estimate(received[i])
+  /// bit-for-bit regardless of the worker count.
+  std::vector<TofEstimate> estimate_batch(std::span<const SrsSymbol> received) const;
 
   const SrsConfig& config() const { return config_; }
   int k_factor() const { return k_factor_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 
 namespace skyran::rem {
@@ -93,6 +94,20 @@ std::optional<IdwInterpolator::EstimateWithDistance> IdwInterpolator::estimate_w
     vsum += w * v;
   }
   return EstimateWithDistance{vsum / wsum, neighbors.front().distance_m};
+}
+
+geo::Grid2D<double> IdwInterpolator::estimate_grid(double cell_size, int k, double power,
+                                                   double max_radius_m,
+                                                   double fallback) const {
+  geo::Grid2D<double> out(buckets_.area(), cell_size, fallback);
+  auto& raw = out.raw();
+  const int nx = out.nx();
+  core::parallel_for(raw.size(), [&](std::size_t i) {
+    const geo::CellIndex c{static_cast<int>(i % static_cast<std::size_t>(nx)),
+                           static_cast<int>(i / static_cast<std::size_t>(nx))};
+    raw[i] = estimate(out.center_of(c), k, power, max_radius_m).value_or(fallback);
+  });
+  return out;
 }
 
 }  // namespace skyran::rem

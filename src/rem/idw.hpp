@@ -36,6 +36,13 @@ class IdwInterpolator {
   std::optional<EstimateWithDistance> estimate_with_distance(geo::Vec2 p, int k, double power,
                                                              double max_radius_m) const;
 
+  /// Full-raster estimate over the interpolator's area: one estimate() per
+  /// cell center, parallelized across cells on the global thread pool.
+  /// Cells with no sample in range take `fallback`. Bit-for-bit identical
+  /// for any worker count (cells are independent).
+  geo::Grid2D<double> estimate_grid(double cell_size, int k, double power,
+                                    double max_radius_m, double fallback = 0.0) const;
+
   struct Neighbor {
     int index = 0;       ///< into samples()
     double distance_m = 0.0;
@@ -47,6 +54,7 @@ class IdwInterpolator {
 
   const std::vector<IdwSample>& samples() const { return samples_; }
   std::size_t sample_count() const { return samples_.size(); }
+  const geo::Rect& area() const { return buckets_.area(); }
 
  private:
   std::vector<IdwSample> samples_;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <random>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 
 namespace skyran::rem {
@@ -72,36 +73,73 @@ KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64
     centers.push_back(points[static_cast<std::size_t>(it - cdf.begin())].position);
   }
 
+  // Per-centroid accumulator of one chunk of the update sweep. Partials are
+  // combined in chunk order (chunk boundaries depend only on the point
+  // count), so the centroids are bit-for-bit independent of thread count.
+  struct CentroidSums {
+    std::vector<geo::Vec2> sums;
+    std::vector<double> weights;
+  };
+
   KMeansResult result;
   result.assignment.assign(points.size(), 0);
   for (int iter = 0; iter < max_iterations; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const int a = nearest_center(points[i].position, centers);
-      if (a != result.assignment[i]) {
-        result.assignment[i] = a;
-        changed = true;
-      }
-    }
-    // Recompute weighted centroids.
-    std::vector<geo::Vec2> sums(centers.size());
-    std::vector<double> weights(centers.size(), 0.0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const auto a = static_cast<std::size_t>(result.assignment[i]);
-      sums[a] += points[i].position * points[i].weight;
-      weights[a] += points[i].weight;
-    }
+    // Assignment sweep: each point is independent; `changed` is an OR over
+    // chunks, which is order-insensitive.
+    const bool changed = core::parallel_reduce(
+        points.size(), 0, false,
+        [&](std::size_t begin, std::size_t end) {
+          bool chunk_changed = false;
+          for (std::size_t i = begin; i < end; ++i) {
+            const int a = nearest_center(points[i].position, centers);
+            if (a != result.assignment[i]) {
+              result.assignment[i] = a;
+              chunk_changed = true;
+            }
+          }
+          return chunk_changed;
+        },
+        [](bool a, bool b) { return a || b; });
+
+    // Update sweep: recompute weighted centroids from per-chunk partials.
+    CentroidSums identity{std::vector<geo::Vec2>(centers.size()),
+                          std::vector<double>(centers.size(), 0.0)};
+    const CentroidSums acc = core::parallel_reduce(
+        points.size(), 0, identity,
+        [&](std::size_t begin, std::size_t end) {
+          CentroidSums part{std::vector<geo::Vec2>(centers.size()),
+                            std::vector<double>(centers.size(), 0.0)};
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto a = static_cast<std::size_t>(result.assignment[i]);
+            part.sums[a] += points[i].position * points[i].weight;
+            part.weights[a] += points[i].weight;
+          }
+          return part;
+        },
+        [](CentroidSums a, const CentroidSums& b) {
+          for (std::size_t c = 0; c < a.sums.size(); ++c) {
+            a.sums[c] += b.sums[c];
+            a.weights[c] += b.weights[c];
+          }
+          return a;
+        });
     for (std::size_t c = 0; c < centers.size(); ++c)
-      if (weights[c] > 0.0) centers[c] = sums[c] / weights[c];
+      if (acc.weights[c] > 0.0) centers[c] = acc.sums[c] / acc.weights[c];
     result.iterations = iter + 1;
     if (!changed && iter > 0) break;
   }
 
-  result.inertia = 0.0;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto a = static_cast<std::size_t>(result.assignment[i]);
-    result.inertia += points[i].weight * (points[i].position - centers[a]).norm2();
-  }
+  result.inertia = core::parallel_reduce(
+      points.size(), 0, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double part = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto a = static_cast<std::size_t>(result.assignment[i]);
+          part += points[i].weight * (points[i].position - centers[a]).norm2();
+        }
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   result.centroids = std::move(centers);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <random>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 
 namespace skyran::rem {
@@ -145,6 +146,20 @@ std::optional<double> KrigingInterpolator::estimate(geo::Vec2 p, int k,
   for (int i = 0; i < n; ++i)
     est += w[static_cast<std::size_t>(i)] * samples_[static_cast<std::size_t>(nb[i].index)].value;
   return est;
+}
+
+geo::Grid2D<double> KrigingInterpolator::estimate_grid(double cell_size, int k,
+                                                       double max_radius_m,
+                                                       double fallback) const {
+  geo::Grid2D<double> out(index_.area(), cell_size, fallback);
+  auto& raw = out.raw();
+  const int nx = out.nx();
+  core::parallel_for(raw.size(), [&](std::size_t i) {
+    const geo::CellIndex c{static_cast<int>(i % static_cast<std::size_t>(nx)),
+                           static_cast<int>(i / static_cast<std::size_t>(nx))};
+    raw[i] = estimate(out.center_of(c), k, max_radius_m).value_or(fallback);
+  });
+  return out;
 }
 
 }  // namespace skyran::rem

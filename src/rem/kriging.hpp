@@ -40,6 +40,13 @@ class KrigingInterpolator {
   /// `max_radius_m`. nullopt when no sample is in range.
   std::optional<double> estimate(geo::Vec2 p, int k = 8, double max_radius_m = 1e9) const;
 
+  /// Full-raster kriged estimate over the interpolator's area: one dense
+  /// solve per cell center, parallelized across cells on the global thread
+  /// pool. Cells with no sample in range take `fallback`. Bit-for-bit
+  /// identical for any worker count (cells are independent).
+  geo::Grid2D<double> estimate_grid(double cell_size, int k = 8, double max_radius_m = 1e9,
+                                    double fallback = 0.0) const;
+
   const Variogram& variogram() const { return variogram_; }
   std::size_t sample_count() const { return index_.sample_count(); }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 
 namespace skyran::rem {
@@ -11,11 +12,14 @@ namespace skyran::rem {
 geo::Grid2D<double> min_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps) {
   expects(!per_ue_maps.empty(), "min_snr_map: need at least one REM");
   geo::Grid2D<double> out = per_ue_maps.front();
-  for (std::size_t i = 1; i < per_ue_maps.size(); ++i) {
+  for (std::size_t i = 1; i < per_ue_maps.size(); ++i)
     expects(out.same_geometry(per_ue_maps[i]), "min_snr_map: geometry mismatch");
-    const auto& raw = per_ue_maps[i].raw();
-    for (std::size_t j = 0; j < raw.size(); ++j) out.raw()[j] = std::min(out.raw()[j], raw[j]);
-  }
+  core::parallel_for(out.raw().size(), [&](std::size_t j) {
+    double v = per_ue_maps.front().raw()[j];
+    for (std::size_t i = 1; i < per_ue_maps.size(); ++i)
+      v = std::min(v, per_ue_maps[i].raw()[j]);
+    out.raw()[j] = v;
+  });
   return out;
 }
 
@@ -31,11 +35,16 @@ geo::Grid2D<double> mean_snr_map(std::span<const geo::Grid2D<double>> per_ue_map
     const double w = weights.empty() ? 1.0 : weights[i];
     expects(w >= 0.0, "mean_snr_map: weights must be non-negative");
     weight_sum += w;
-    const auto& raw = per_ue_maps[i].raw();
-    for (std::size_t j = 0; j < raw.size(); ++j) out.raw()[j] += w * raw[j];
   }
   expects(weight_sum > 0.0, "mean_snr_map: weights must not all be zero");
-  for (double& v : out.raw()) v /= weight_sum;
+  // Per-cell accumulation in UE order: the same FP addition order as a
+  // map-by-map serial sweep, so the result is unchanged.
+  core::parallel_for(out.raw().size(), [&](std::size_t j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < per_ue_maps.size(); ++i)
+      acc += (weights.empty() ? 1.0 : weights[i]) * per_ue_maps[i].raw()[j];
+    out.raw()[j] = acc / weight_sum;
+  });
   return out;
 }
 
@@ -43,12 +52,14 @@ geo::Grid2D<double> coverage_map(std::span<const geo::Grid2D<double>> per_ue_map
                                  double threshold_db) {
   expects(!per_ue_maps.empty(), "coverage_map: need at least one REM");
   geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
-  for (const geo::Grid2D<double>& m : per_ue_maps) {
+  for (const geo::Grid2D<double>& m : per_ue_maps)
     expects(out.same_geometry(m), "coverage_map: geometry mismatch");
-    for (std::size_t j = 0; j < m.raw().size(); ++j)
-      if (m.raw()[j] >= threshold_db) out.raw()[j] += 1.0;
-  }
-  for (double& v : out.raw()) v /= static_cast<double>(per_ue_maps.size());
+  core::parallel_for(out.raw().size(), [&](std::size_t j) {
+    double served = 0.0;
+    for (const geo::Grid2D<double>& m : per_ue_maps)
+      if (m.raw()[j] >= threshold_db) served += 1.0;
+    out.raw()[j] = served / static_cast<double>(per_ue_maps.size());
+  });
   return out;
 }
 
@@ -79,16 +90,34 @@ geo::Grid2D<double> objective_map(std::span<const geo::Grid2D<double>> per_ue_ma
 }
 
 Placement argmax_placement(const geo::Grid2D<double>& map) {
-  Placement best;
-  double best_v = -std::numeric_limits<double>::infinity();
-  map.for_each([&](geo::CellIndex c, const double& v) {
-    if (v > best_v) {
-      best_v = v;
-      best.position = map.center_of(c);
-    }
-  });
-  best.objective_snr_db = best_v;
-  return best;
+  // Chunked argmax: strict `>` within a chunk and across the chunk-ordered
+  // combine keeps the lowest flat index on ties — exactly the serial sweep.
+  struct Best {
+    double v = -std::numeric_limits<double>::infinity();
+    std::size_t index = 0;
+  };
+  const auto& raw = map.raw();
+  const Best best = core::parallel_reduce(
+      raw.size(), 0, Best{},
+      [&](std::size_t begin, std::size_t end) {
+        Best b;
+        b.index = begin;
+        for (std::size_t j = begin; j < end; ++j) {
+          if (raw[j] > b.v) {
+            b.v = raw[j];
+            b.index = j;
+          }
+        }
+        return b;
+      },
+      [](Best a, const Best& b) { return b.v > a.v ? b : a; });
+
+  Placement out;
+  out.objective_snr_db = best.v;
+  const int nx = map.nx();
+  out.position = map.center_of({static_cast<int>(best.index % static_cast<std::size_t>(nx)),
+                                static_cast<int>(best.index / static_cast<std::size_t>(nx))});
+  return out;
 }
 
 }  // namespace
@@ -109,8 +138,12 @@ Placement choose_placement_feasible(std::span<const geo::Grid2D<double>> per_ue_
 
 void mask_infeasible_cells(geo::Grid2D<double>& objective, const terrain::Terrain& t,
                            double altitude_m, double clearance_m) {
-  objective.for_each([&](geo::CellIndex c, double& v) {
-    if (t.surface_height(objective.center_of(c)) + clearance_m > altitude_m) v = -1e9;
+  auto& raw = objective.raw();
+  const int nx = objective.nx();
+  core::parallel_for(raw.size(), [&](std::size_t j) {
+    const geo::CellIndex c{static_cast<int>(j % static_cast<std::size_t>(nx)),
+                           static_cast<int>(j / static_cast<std::size_t>(nx))};
+    if (t.surface_height(objective.center_of(c)) + clearance_m > altitude_m) raw[j] = -1e9;
   });
 }
 

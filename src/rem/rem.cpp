@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 #include "geo/stats.hpp"
 #include "rem/idw.hpp"
@@ -74,7 +75,14 @@ geo::Grid2D<double> Rem::estimate(const IdwParams& params) const {
   const bool blend_prior = background_source_ == BackgroundSource::kPrior &&
                            params.background_blend_m > 0.0;
   geo::Grid2D<double> out(area(), cell_size(), 0.0);
-  out.for_each([&](geo::CellIndex c, double& v) {
+  auto& raw = out.raw();
+  const int nx = out.nx();
+  // Each cell is estimated independently: the sweep runs on the thread pool
+  // and is bit-for-bit identical for any worker count.
+  core::parallel_for(raw.size(), [&](std::size_t i) {
+    const geo::CellIndex c{static_cast<int>(i % static_cast<std::size_t>(nx)),
+                           static_cast<int>(i / static_cast<std::size_t>(nx))};
+    double& v = raw[i];
     if (const std::optional<double> m = measured_snr(c)) {
       v = *m;
       return;

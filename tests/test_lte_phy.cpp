@@ -309,6 +309,89 @@ TEST(TofTest, MismatchedSymbolSizeRejected) {
   EXPECT_THROW(est.estimate(wrong), ContractViolation);
 }
 
+// ---------------------------------------------------------------------------
+// Golden vectors. The constants below were computed once with this repo's
+// reference implementation and hardcoded; they pin the exact numerics of the
+// DSP chain so that later rewrites (SIMD, parallel, alternative FFTs) cannot
+// silently change results. The ZC values also match the analytic formula
+// exp(-i*pi*u*k*(k+1)/N) for odd N.
+// ---------------------------------------------------------------------------
+
+void expect_cplx_near(const Cplx& got, double re, double im, double tol) {
+  EXPECT_NEAR(got.real(), re, tol);
+  EXPECT_NEAR(got.imag(), im, tol);
+}
+
+TEST(GoldenVectorTest, ZadoffChuRoot25Length139) {
+  const CplxVec zc = zadoff_chu(25, 139);
+  ASSERT_EQ(zc.size(), 139u);
+  constexpr double kTol = 1e-12;
+  expect_cplx_near(zc[0], 1.0, 0.0, kTol);
+  expect_cplx_near(zc[1], 0.426597131274425, -0.90444175466882937, kTol);
+  expect_cplx_near(zc[2], -0.96925408626555865, 0.24606201709633482, kTol);
+  expect_cplx_near(zc[69], -0.60051059140004859, -0.79961680173465832, kTol);
+  // Symmetry of ZC sequences with odd N: zc[N-1-k] == zc[k].
+  expect_cplx_near(zc[137], 0.426597131274425, -0.90444175466882937, kTol);
+  expect_cplx_near(zc[138], 1.0, 0.0, kTol);
+}
+
+TEST(GoldenVectorTest, DefaultSrsSymbolOccupiedBins) {
+  const SrsConfig cfg;
+  const SrsSymbol sym = make_srs_symbol(cfg);
+  ASSERT_EQ(sym.freq.size(), 1024u);
+  ASSERT_EQ(cfg.occupied_res(), 288);
+  const std::vector<int> res = occupied_subcarriers(cfg);
+  ASSERT_EQ(res.front(), -288);
+  ASSERT_EQ(res.back(), 287);
+  constexpr double kTol = 1e-12;
+  // bin = fft_bin(subcarrier, 1024) for the first, second, middle and last
+  // occupied subcarriers.
+  expect_cplx_near(sym.freq[736], 1.0, 0.0, kTol);                                    // sc -288
+  expect_cplx_near(sym.freq[738], 0.99975354420738005, -0.022200244250505659, kTol);  // sc -286
+  expect_cplx_near(sym.freq[1], 0.77234980784283547, 0.63519742940690105, kTol);      // sc 1
+  expect_cplx_near(sym.freq[287], 0.97545448453831651, -0.22020115484276487, kTol);   // sc 287
+}
+
+TEST(GoldenVectorTest, Fft16FixedInput) {
+  CplxVec x(16);
+  for (int i = 0; i < 16; ++i)
+    x[i] = Cplx(std::cos(0.7 * i) + 0.1 * i, std::sin(0.4 * i) - 0.05 * i);
+  const CplxVec y = fft(x);
+  ASSERT_EQ(y.size(), 16u);
+  constexpr double kTol = 1e-12;
+  // All 16 bins of the radix-2 path for a fixed deterministic input.
+  expect_cplx_near(y[0], 11.057262920633585, -6.0414646767974762, kTol);
+  expect_cplx_near(y[1], 7.5383990289373699, 5.7932780823997296, kTol);
+  expect_cplx_near(y[2], 5.8344723217076826, -2.6136522961303599, kTol);
+  expect_cplx_near(y[3], 0.92245428286883402, 0.57316619858292506, kTol);
+  expect_cplx_near(y[4], 0.34760358601145352, 0.61926537712625551, kTol);
+  expect_cplx_near(y[5], 0.099327398672243689, 0.55441779844798833, kTol);
+  expect_cplx_near(y[6], -0.046850474944800879, 0.48084775310473171, kTol);
+  expect_cplx_near(y[7], -0.14725543222088255, 0.40983199555696004, kTol);
+  expect_cplx_near(y[8], -0.22278854558758709, 0.34103465489449247, kTol);
+  expect_cplx_near(y[9], -0.28221031933678953, 0.27218031547788524, kTol);
+  expect_cplx_near(y[10], -0.3276044692909692, 0.2009730394858722, kTol);
+  expect_cplx_near(y[11], -0.35262461216320218, 0.12699738482375419, kTol);
+  expect_cplx_near(y[12], -0.32585842615782173, 0.061304047889064572, kTol);
+  expect_cplx_near(y[13], -0.074826774804440305, 0.1053551235926149, kTol);
+  expect_cplx_near(y[14], 4.2882901157104536, 3.2846989530067785, kTol);
+  expect_cplx_near(y[15], -12.30779060003513, -4.1682337514612167, kTol);
+}
+
+TEST(GoldenVectorTest, TofChainFixedFractionalDelay) {
+  // End-to-end chain (SRS synthesis -> channel -> correlator) with a fixed
+  // fractional delay of 17.37 samples, near-infinite SNR and a fixed seed.
+  const SrsConfig cfg;
+  const SrsSymbol tx = make_srs_symbol(cfg);
+  SrsChannelParams ch;
+  ch.delay_s = 17.37 / cfg.carrier.sample_rate_hz;
+  ch.snr_db = 300.0;
+  std::mt19937_64 rng(123);
+  const TofEstimate e = TofEstimator(cfg, 4).estimate(apply_srs_channel(tx, ch, rng));
+  EXPECT_NEAR(e.delay_samples, 17.369906871660298, 1e-9);
+  EXPECT_NEAR(e.peak_to_side_db, 22.193243916033317, 1e-6);
+}
+
 /// Ranging accuracy sweep over bandwidth: wider carriers range better.
 class TofBandwidth : public ::testing::TestWithParam<double> {};
 

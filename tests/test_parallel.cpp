@@ -1,0 +1,374 @@
+// Serial/parallel equivalence suite for the thread-pool epoch engine: every
+// converted kernel must produce bit-for-bit identical output with 1 worker
+// (forced serial) and N workers, including empty and single-element inputs.
+// Also exercises the pool primitives themselves (coverage, chunk layout,
+// exception propagation, nesting). Run under TSan in CI to catch races.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "geo/contract.hpp"
+#include "localization/pipeline.hpp"
+#include "lte/ranging.hpp"
+#include "lte/srs_channel.hpp"
+#include "rem/idw.hpp"
+#include "rem/kmeans.hpp"
+#include "rem/kriging.hpp"
+#include "rem/placement.hpp"
+#include "rem/rem.hpp"
+#include "rf/channel.hpp"
+#include "sim/world.hpp"
+#include "uav/flight.hpp"
+#include "uav/gps.hpp"
+
+namespace skyran {
+namespace {
+
+constexpr int kParallelWorkers = 8;
+
+/// Run `fn` once per worker count and return the results for comparison.
+template <typename F>
+auto serial_and_parallel(F&& fn) {
+  core::set_global_workers(1);
+  auto serial = fn();
+  core::set_global_workers(kParallelWorkers);
+  auto parallel = fn();
+  core::set_global_workers(0);
+  return std::pair{std::move(serial), std::move(parallel)};
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  core::ThreadPool pool(kParallelWorkers);
+  const std::size_t n = 10007;
+  std::vector<int> hits(n, 0);
+  pool.run_chunks(n, 0, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPoolTest, ChunkLayoutIndependentOfWorkerCount) {
+  const std::size_t n = 5000;
+  const auto layout_with = [&](int workers) {
+    core::ThreadPool pool(workers);
+    std::mutex mu;
+    std::vector<std::array<std::size_t, 3>> chunks;
+    pool.run_chunks(n, 0, [&](std::size_t c, std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lk(mu);
+      chunks.push_back({c, b, e});
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto one = layout_with(1);
+  const auto many = layout_with(kParallelWorkers);
+  EXPECT_EQ(one, many);
+  // Chunks are contiguous, ordered, and cover [0, n).
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one.front()[1], 0u);
+  EXPECT_EQ(one.back()[2], n);
+  for (std::size_t c = 1; c < one.size(); ++c) EXPECT_EQ(one[c][1], one[c - 1][2]);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  core::ThreadPool pool(kParallelWorkers);
+  int calls = 0;
+  pool.run_chunks(0, 0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  core::ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.run_chunks(100, 10, [&](std::size_t, std::size_t, std::size_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  core::ThreadPool pool(kParallelWorkers);
+  const auto boom = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      if (i == 777) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.run_chunks(1000, 10, boom), std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<int> count{0};
+  pool.run_chunks(1000, 10, [&](std::size_t, std::size_t begin, std::size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  core::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.run_chunks(8, 1, [&](std::size_t, std::size_t, std::size_t) {
+    core::parallel_for(10, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ReduceBitwiseEqualAcrossWorkerCounts) {
+  std::vector<double> values(12345);
+  std::mt19937_64 rng(42);
+  std::normal_distribution<double> g(0.0, 3.0);
+  for (double& v : values) v = g(rng);
+  const auto sum = [&]() {
+    return core::parallel_reduce(
+        values.size(), 0, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) s += values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const auto [serial, parallel] = serial_and_parallel(sum);
+  EXPECT_EQ(serial, parallel);  // bitwise, not approximate
+}
+
+TEST(ThreadPoolTest, EnvironmentOverrideRespected) {
+  core::set_global_workers(0);
+  ASSERT_EQ(setenv("SKYRAN_THREADS", "3", 1), 0);
+  EXPECT_EQ(core::configured_workers(), 3);
+  ASSERT_EQ(setenv("SKYRAN_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(core::configured_workers(), core::hardware_workers());
+  ASSERT_EQ(unsetenv("SKYRAN_THREADS"), 0);
+  // Explicit override beats the environment.
+  ASSERT_EQ(setenv("SKYRAN_THREADS", "3", 1), 0);
+  core::set_global_workers(5);
+  EXPECT_EQ(core::configured_workers(), 5);
+  core::set_global_workers(0);
+  ASSERT_EQ(unsetenv("SKYRAN_THREADS"), 0);
+}
+
+TEST(ParallelEquivalenceTest, RemIdwEstimate) {
+  const auto estimate = [] {
+    rem::Rem prior(geo::Rect::square(150.0), 5.0, 60.0, {75.0, 75.0, 1.5});
+    const rf::FsplChannel fspl(2.6e9);
+    prior.seed_from_model(fspl, rf::LinkBudget{});
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(1.0, 149.0);
+    std::normal_distribution<double> g(12.0, 6.0);
+    for (int i = 0; i < 120; ++i) prior.add_measurement({u(rng), u(rng)}, g(rng));
+
+    // A prior-seeded map exercises the blend branch too.
+    rem::Rem fresh(geo::Rect::square(150.0), 5.0, 60.0, {75.0, 75.0, 1.5});
+    fresh.seed_from(prior);
+    for (int i = 0; i < 40; ++i) fresh.add_measurement({u(rng), u(rng)}, g(rng));
+    return fresh.estimate().raw();
+  };
+  const auto [serial, parallel] = serial_and_parallel(estimate);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelEquivalenceTest, IdwEstimateGrid) {
+  const auto grid = [] {
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> u(0.0, 200.0);
+    std::vector<rem::IdwSample> samples;
+    for (int i = 0; i < 300; ++i) samples.push_back({{u(rng), u(rng)}, u(rng) / 10.0});
+    const rem::IdwInterpolator idw(samples, geo::Rect::square(200.0));
+    return idw.estimate_grid(4.0, 8, 2.0, 1e9).raw();
+  };
+  const auto [serial, parallel] = serial_and_parallel(grid);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelEquivalenceTest, IdwEstimateGridEdgeCases) {
+  const auto run = [] {
+    const rem::IdwInterpolator empty({}, geo::Rect::square(50.0));
+    const rem::IdwInterpolator single({{{25.0, 25.0}, 7.5}}, geo::Rect::square(50.0));
+    auto a = empty.estimate_grid(5.0, 8, 2.0, 1e9, -99.0).raw();
+    auto b = single.estimate_grid(5.0, 8, 2.0, 1e9).raw();
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  EXPECT_EQ(serial, parallel);
+  // Empty interpolator: every cell takes the fallback; single sample: every
+  // cell takes the sample's value.
+  EXPECT_DOUBLE_EQ(serial.front(), -99.0);
+  EXPECT_DOUBLE_EQ(serial.back(), 7.5);
+}
+
+TEST(ParallelEquivalenceTest, KrigingEstimateGrid) {
+  const auto grid = [] {
+    std::mt19937_64 rng(13);
+    std::uniform_real_distribution<double> u(0.0, 120.0);
+    std::uniform_real_distribution<double> val(-10.0, 25.0);
+    std::vector<rem::IdwSample> samples;
+    for (int i = 0; i < 150; ++i) samples.push_back({{u(rng), u(rng)}, val(rng)});
+    const rem::Variogram v = rem::fit_variogram(samples);
+    const rem::KrigingInterpolator k(samples, geo::Rect::square(120.0), v);
+    return k.estimate_grid(4.0, 8, 1e9).raw();
+  };
+  const auto [serial, parallel] = serial_and_parallel(grid);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelEquivalenceTest, KrigingEstimateGridEdgeCases) {
+  const auto run = [] {
+    const rem::KrigingInterpolator none({}, geo::Rect::square(30.0), rem::Variogram{});
+    const rem::KrigingInterpolator one({{{15.0, 15.0}, 3.25}}, geo::Rect::square(30.0),
+                                       rem::Variogram{});
+    auto a = none.estimate_grid(5.0, 8, 1e9, 1.0).raw();
+    auto b = one.estimate_grid(5.0, 8, 1e9).raw();
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_DOUBLE_EQ(serial.front(), 1.0);   // no samples -> fallback
+  EXPECT_DOUBLE_EQ(serial.back(), 3.25);   // one sample -> its value
+}
+
+TEST(ParallelEquivalenceTest, KMeans) {
+  std::vector<rem::WeightedPoint> points;
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(0.0, 400.0);
+  for (int i = 0; i < 1500; ++i) points.push_back({{u(rng), u(rng)}, 0.5 + u(rng) / 400.0});
+  const auto run = [&] { return rem::kmeans(points, 12, 23); };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_EQ(serial.inertia, parallel.inertia);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  ASSERT_EQ(serial.centroids.size(), parallel.centroids.size());
+  for (std::size_t c = 0; c < serial.centroids.size(); ++c) {
+    EXPECT_EQ(serial.centroids[c].x, parallel.centroids[c].x);
+    EXPECT_EQ(serial.centroids[c].y, parallel.centroids[c].y);
+  }
+}
+
+TEST(ParallelEquivalenceTest, KMeansEdgeCases) {
+  const std::vector<rem::WeightedPoint> one{{{5.0, 5.0}, 2.0}};
+  const auto run = [&] { return rem::kmeans(one, 3, 1); };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  EXPECT_EQ(serial.centroids.size(), 1u);  // k clamps to the point count
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_EQ(serial.inertia, parallel.inertia);
+  core::set_global_workers(kParallelWorkers);
+  EXPECT_THROW(rem::kmeans({}, 2, 1), ContractViolation);
+  core::set_global_workers(0);
+}
+
+TEST(ParallelEquivalenceTest, PlacementScoring) {
+  std::vector<geo::Grid2D<double>> maps;
+  std::mt19937_64 rng(19);
+  std::normal_distribution<double> g(8.0, 9.0);
+  for (int m = 0; m < 6; ++m) {
+    geo::Grid2D<double> grid(geo::Rect::square(180.0), 4.0, 0.0);
+    for (double& v : grid.raw()) v = g(rng);
+    maps.push_back(std::move(grid));
+  }
+  const std::vector<double> weights{1.0, 0.5, 2.0, 0.1, 1.5, 0.9};
+  for (const auto objective :
+       {rem::PlacementObjective::kMaxMin, rem::PlacementObjective::kMaxMean,
+        rem::PlacementObjective::kMaxWeighted, rem::PlacementObjective::kMaxCoverage}) {
+    const auto place = [&] { return rem::choose_placement(maps, objective, weights); };
+    const auto [serial, parallel] = serial_and_parallel(place);
+    EXPECT_EQ(serial.position.x, parallel.position.x);
+    EXPECT_EQ(serial.position.y, parallel.position.y);
+    EXPECT_EQ(serial.objective_snr_db, parallel.objective_snr_db);
+  }
+}
+
+TEST(ParallelEquivalenceTest, PlacementSingleMapSingleCell) {
+  std::vector<geo::Grid2D<double>> maps;
+  maps.emplace_back(geo::Rect::square(3.0), 4.0, 5.5);  // one cell covers the area
+  const auto place = [&] { return rem::choose_placement(maps); };
+  const auto [serial, parallel] = serial_and_parallel(place);
+  EXPECT_EQ(serial.position.x, parallel.position.x);
+  EXPECT_EQ(serial.objective_snr_db, 5.5);
+  EXPECT_EQ(parallel.objective_snr_db, 5.5);
+}
+
+TEST(ParallelEquivalenceTest, TofEstimateBatch) {
+  lte::SrsConfig cfg;
+  const lte::SrsSymbol tx = lte::make_srs_symbol(cfg);
+  const lte::TofEstimator est(cfg, 4);
+  std::mt19937_64 rng(29);
+  std::vector<lte::SrsSymbol> received;
+  for (int i = 0; i < 24; ++i) {
+    lte::SrsChannelParams ch;
+    ch.delay_s = (30.0 + 15.0 * i) / 3e8;
+    ch.snr_db = 12.0;
+    received.push_back(lte::apply_srs_channel(tx, ch, rng));
+  }
+  const auto run = [&] { return est.estimate_batch(received); };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].delay_samples, parallel[i].delay_samples);
+    EXPECT_EQ(serial[i].distance_m, parallel[i].distance_m);
+    EXPECT_EQ(serial[i].peak_to_side_db, parallel[i].peak_to_side_db);
+    // The batch path must agree with the one-shot path.
+    const lte::TofEstimate one = est.estimate(received[i]);
+    EXPECT_EQ(serial[i].delay_samples, one.delay_samples);
+  }
+  EXPECT_TRUE(est.estimate_batch({}).empty());
+  EXPECT_EQ(est.estimate_batch(std::span<const lte::SrsSymbol>(received.data(), 1)).size(), 1u);
+}
+
+/// LOS decided by a pure function of geometry so the oracle needs no channel.
+class StripedLosOracle final : public localization::LosOracle {
+ public:
+  bool line_of_sight(geo::Vec3 uav, geo::Vec3 ue) const override {
+    return static_cast<int>(uav.dist(ue) / 40.0) % 2 == 0;
+  }
+};
+
+TEST(ParallelEquivalenceTest, CollectGpsTofRanging) {
+  const auto run = [] {
+    geo::Path track({{20.0, 20.0}, {80.0, 30.0}, {60.0, 90.0}});
+    const uav::FlightPlan plan = uav::FlightPlan::at_altitude(track, 60.0);
+    const std::vector<uav::FlightSample> flight = uav::fly(plan, 1.0 / 50.0);
+    const rf::FsplChannel fspl(2.6e9);
+    const StripedLosOracle los;
+    uav::GpsSensor gps(99, 1.5);
+    std::mt19937_64 rng(31);
+    return localization::collect_gps_tof(flight, {120.0, 40.0, 1.5}, fspl, los,
+                                         rf::LinkBudget{}, gps, {}, rng);
+  };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GT(serial.size(), 10u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].time_s, parallel[i].time_s);
+    EXPECT_EQ(serial[i].range_m, parallel[i].range_m);
+    EXPECT_EQ(serial[i].uav_position.x, parallel[i].uav_position.x);
+    EXPECT_EQ(serial[i].uav_position.y, parallel[i].uav_position.y);
+    EXPECT_EQ(serial[i].uav_position.z, parallel[i].uav_position.z);
+  }
+}
+
+TEST(ParallelEquivalenceTest, SrsChannelDeterministicAcrossWorkerCounts) {
+  lte::SrsConfig cfg;
+  const lte::SrsSymbol tx = lte::make_srs_symbol(cfg);
+  const auto run = [&] {
+    std::mt19937_64 rng(37);
+    lte::SrsChannelParams ch;
+    ch.delay_s = 4e-7;
+    ch.snr_db = 10.0;
+    ch.taps = lte::make_nlos_taps(3, 50e-9, -4.0, 4.0, rng);
+    return lte::apply_srs_channel(tx, ch, rng).freq;
+  };
+  const auto [serial, parallel] = serial_and_parallel(run);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace skyran

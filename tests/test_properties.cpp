@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "localization/multilateration.hpp"
 #include "lte/ranging.hpp"
 #include "lte/scheduler.hpp"
 #include "lte/srs_channel.hpp"
@@ -216,6 +217,69 @@ TEST_P(SeedSweep, GradientMapNonNegativeAndZeroOnFlat) {
   snr.fill(7.0);
   const geo::Grid2D<double> flat_grad = rem::gradient_map(snr);
   for (const double v : flat_grad.raw()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_P(SeedSweep, MultilaterationRoundTripRecoversPositionAndOffset) {
+  // Sample a UE position and a constant processing-delay offset, synthesize
+  // ToF ranges from waypoints spread across the area (wide aperture, so
+  // (x, y, b) is identifiable), and require the solver to invert both.
+  std::mt19937_64 rng(seed());
+  const geo::Rect area = geo::Rect::square(300.0);
+  std::uniform_real_distribution<double> u(30.0, 270.0);
+  std::uniform_real_distribution<double> off(5.0, 60.0);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  const geo::Vec3 ue{u(rng), u(rng), 1.5};
+  const double offset_m = off(rng);
+
+  localization::GpsTofSeries tuples;
+  for (int i = 0; i < 40; ++i) {
+    const geo::Vec3 wp{u(rng), u(rng), 60.0};
+    tuples.push_back({static_cast<double>(i) / 50.0, wp,
+                      wp.dist(ue) + offset_m + noise(rng)});
+  }
+
+  localization::MultilaterationOptions opts;
+  opts.seed = seed();
+  const localization::MultilaterationResult fit =
+      localization::multilaterate(tuples, area, ue.z, opts);
+  EXPECT_NEAR(fit.position.dist(ue.xy()), 0.0, 5.0);
+  EXPECT_NEAR(fit.offset_m, offset_m, 5.0);
+  EXPECT_LT(fit.rms_residual_m, 3.0);
+}
+
+TEST_P(SeedSweep, MultilaterationCollinearWaypointsDoNotCrash) {
+  // Waypoints on a straight line leave a mirror ambiguity across the line:
+  // the solve must stay finite and fit the ranges, and the estimate must
+  // land on the UE or its mirror image.
+  std::mt19937_64 rng(seed());
+  const geo::Rect area = geo::Rect::square(300.0);
+  std::uniform_real_distribution<double> u(40.0, 260.0);
+  const geo::Vec3 ue{u(rng), u(rng), 1.5};
+  const double line_y = 150.0;
+  const double offset_m = 20.0;
+
+  localization::GpsTofSeries tuples;
+  for (int i = 0; i < 30; ++i) {
+    const geo::Vec3 wp{30.0 + 8.0 * i, line_y, 60.0};  // strictly collinear
+    tuples.push_back({static_cast<double>(i) / 50.0, wp, wp.dist(ue) + offset_m});
+  }
+
+  localization::MultilaterationOptions opts;
+  opts.seed = seed();
+  localization::MultilaterationResult fit;
+  ASSERT_NO_THROW(fit = localization::multilaterate(tuples, area, ue.z, opts));
+  EXPECT_TRUE(std::isfinite(fit.position.x));
+  EXPECT_TRUE(std::isfinite(fit.position.y));
+  EXPECT_TRUE(std::isfinite(fit.offset_m));
+  EXPECT_TRUE(std::isfinite(fit.rms_residual_m));
+  const geo::Vec2 mirror{ue.x, 2.0 * line_y - ue.y};
+  const double to_truth = std::min(fit.position.dist(ue.xy()), fit.position.dist(mirror));
+  EXPECT_LT(to_truth, 10.0);
+
+  // Degenerate extreme: all waypoints identical must also not crash.
+  localization::GpsTofSeries same(10, {0.0, {100.0, 100.0, 60.0},
+                                       geo::Vec3{100.0, 100.0, 60.0}.dist(ue) + offset_m});
+  ASSERT_NO_THROW(localization::multilaterate(same, area, ue.z, opts));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 7u, 42u, 1337u));
