@@ -61,8 +61,10 @@ struct SkyRanConfig {
   /// Worker threads for the per-epoch hot paths (SRS correlation, REM
   /// interpolation, k-means, placement scoring). 0 = auto: the
   /// SKYRAN_THREADS environment variable if set, else hardware concurrency.
-  /// 1 forces fully serial execution. Parallel results are bit-for-bit
-  /// identical to serial (see DESIGN.md, "Concurrency model").
+  /// 1 forces fully serial execution. Scoped to this instance (applied as a
+  /// thread-local override inside each SkyRan entry point, never as
+  /// process-wide state). Parallel results are bit-for-bit identical to
+  /// serial (see DESIGN.md, "Concurrency model").
   int threads = 0;
 };
 

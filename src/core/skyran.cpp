@@ -20,7 +20,10 @@ SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
           "SkyRan: epoch trigger threshold must be in (0,1)");
   expects(config.rem_cell_m > 0.0, "SkyRan: REM cell size must be positive");
   expects(config.threads >= 0, "SkyRan: thread count must be >= 0 (0 = auto)");
-  if (config.threads > 0) set_global_workers(config.threads);
+  // config.threads is applied per entry point via ScopedWorkers (see
+  // run_epoch / current_estimates) rather than set_global_workers: a
+  // constructor mutating the process-wide count would race with parallel
+  // work in flight elsewhere and let instances override each other.
 }
 
 rem::TrajectoryHistory& SkyRan::history_for(geo::Vec2 ue_position) {
@@ -104,6 +107,7 @@ double SkyRan::ensure_altitude(const std::vector<geo::Vec2>& ue_estimates,
 
 EpochReport SkyRan::run_epoch() {
   expects(!world_.ue_positions().empty(), "SkyRan::run_epoch: no UEs in the world");
+  const ScopedWorkers workers(config_.threads);  // no-op when threads == 0 (auto)
   EpochReport report;
   report.epoch = ++epoch_;
 
@@ -194,6 +198,7 @@ EpochReport SkyRan::run_epoch() {
 }
 
 std::vector<geo::Grid2D<double>> SkyRan::current_estimates() const {
+  const ScopedWorkers workers(config_.threads);
   std::vector<geo::Grid2D<double>> out;
   out.reserve(current_rems_.size());
   for (const rem::Rem& r : current_rems_) out.push_back(r.estimate(config_.idw));

@@ -1,5 +1,6 @@
 #include "core/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -45,7 +46,8 @@ std::size_t ThreadPool::default_grain(std::size_t n) {
   return n == 0 ? 1 : (n + 63) / 64;
 }
 
-void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& body) {
+void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& body,
+                            int max_lanes) {
   if (n == 0) return;
   if (grain == 0) grain = default_grain(n);
   const std::size_t chunks = (n + grain - 1) / grain;
@@ -56,7 +58,11 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& b
     body(c, begin, end);
   };
 
-  if (threads_.empty() || chunks == 1) {
+  const std::size_t lanes =
+      max_lanes >= 1 ? std::min<std::size_t>(static_cast<std::size_t>(max_lanes),
+                                             static_cast<std::size_t>(workers_))
+                     : static_cast<std::size_t>(workers_);
+  if (threads_.empty() || chunks == 1 || lanes == 1) {
     for (std::size_t c = 0; c < chunks; ++c) run_one(c);
     return;
   }
@@ -100,7 +106,7 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& b
   // (it blocks below until done == chunks, and done only reaches chunks
   // after every claimable chunk was claimed).
   const std::size_t helpers =
-      std::min<std::size_t>(threads_.size(), chunks - 1);
+      std::min({threads_.size(), chunks - 1, lanes - 1});
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t i = 0; i < helpers; ++i) queue_.emplace_back(drive);
@@ -117,8 +123,9 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& b
 namespace {
 
 std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
+std::shared_ptr<ThreadPool> g_pool;
 int g_explicit_workers = 0;
+thread_local int tl_workers = 0;
 
 }  // namespace
 
@@ -128,6 +135,7 @@ int hardware_workers() {
 }
 
 int configured_workers() {
+  if (tl_workers > 0) return tl_workers;
   {
     std::lock_guard<std::mutex> lk(g_pool_mu);
     if (g_explicit_workers > 0) return g_explicit_workers;
@@ -143,27 +151,39 @@ int configured_workers() {
 void set_global_workers(int workers) {
   std::lock_guard<std::mutex> lk(g_pool_mu);
   g_explicit_workers = workers > 0 ? workers : 0;
-  g_pool.reset();  // rebuilt lazily with the new count
+  // The pool is deliberately NOT reset here: loops in flight on other threads
+  // hold a shared_ptr to it, and acquire_global_pool() only ever grows the
+  // pool. A smaller count is enforced per call via the run_chunks lane cap.
 }
 
-ThreadPool& global_pool() {
+ScopedWorkers::ScopedWorkers(int workers) : previous_(tl_workers) {
+  if (workers > 0) tl_workers = workers;
+}
+
+ScopedWorkers::~ScopedWorkers() { tl_workers = previous_; }
+
+std::shared_ptr<ThreadPool> acquire_global_pool() {
   const int want = configured_workers();
   std::lock_guard<std::mutex> lk(g_pool_mu);
-  if (!g_pool || g_pool->worker_count() != want)
-    g_pool = std::make_unique<ThreadPool>(want);
-  return *g_pool;
+  // Grow-only: replacing g_pool is safe because concurrent loops keep the old
+  // pool alive through their own shared_ptr until they finish, and a pool
+  // with more lanes than needed is capped per call, never shrunk.
+  if (!g_pool || g_pool->worker_count() < want)
+    g_pool = std::make_shared<ThreadPool>(want);
+  return g_pool;
 }
 
 void parallel_for_chunks(std::size_t n, std::size_t grain, const ChunkBody& body) {
-  global_pool().run_chunks(n, grain, body);
+  const int lanes = configured_workers();
+  acquire_global_pool()->run_chunks(n, grain, body, lanes);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t grain) {
-  global_pool().run_chunks(n, grain,
-                           [&fn](std::size_t, std::size_t begin, std::size_t end) {
-                             for (std::size_t i = begin; i < end; ++i) fn(i);
-                           });
+  parallel_for_chunks(n, grain,
+                      [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) fn(i);
+                      });
 }
 
 }  // namespace skyran::core

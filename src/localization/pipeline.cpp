@@ -1,5 +1,6 @@
 #include "localization/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "geo/contract.hpp"
@@ -20,57 +21,71 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
   const int srs_per_gps =
       std::max(1, static_cast<int>(std::round(config.srs_rate_hz / config.gps_rate_hz)));
 
-  // Three phases keep the output bit-identical to a fully serial sweep while
-  // the expensive part runs on the thread pool: (1) synthesize every received
-  // symbol in flight order (the channel/noise RNG stream is strictly
-  // sequential), (2) cross-correlate the whole batch in parallel, (3)
-  // aggregate per GPS interval, consuming the GPS sensor in interval order.
-  std::vector<lte::SrsSymbol> received;
-  std::vector<std::size_t> received_interval;
+  // The flight is processed in bounded batches of GPS intervals so peak
+  // memory stays capped (each buffered symbol is fft_size complex doubles; a
+  // whole long flight would be hundreds of MB). Three phases per batch keep
+  // the output bit-identical to a fully serial sweep: (1) synthesize the
+  // batch's received symbols in flight order (the channel/noise RNG stream is
+  // strictly sequential), (2) cross-correlate the batch in parallel (each
+  // symbol's estimate is independent of the others, so batch boundaries
+  // cannot change it), (3) aggregate per GPS interval in interval order,
+  // consuming the GPS sensor serially. Phases never overlap across batches,
+  // so every RNG/sensor draw happens in the same order as the serial sweep.
+  constexpr std::size_t kBatchSymbolBudget = 512;
+  const std::size_t batch_intervals =
+      std::max<std::size_t>(1, kBatchSymbolBudget / static_cast<std::size_t>(srs_per_gps));
   const std::size_t n_intervals = flight.size() - 1;
-  for (std::size_t i = 0; i < n_intervals; ++i) {
-    const uav::FlightSample& a = flight[i];
-    const uav::FlightSample& b = flight[i + 1];
-    for (int m = 0; m < srs_per_gps; ++m) {
-      // UAV keeps moving between SRS reports: interpolate the true position.
-      const double frac = static_cast<double>(m) / srs_per_gps;
-      const geo::Vec3 uav_true = a.position + (b.position - a.position) * frac;
-      const double true_range = uav_true.dist(ue_position);
-
-      const double path_loss = channel.path_loss_db(uav_true, ue_position);
-      const double snr_db = budget.snr_db(path_loss);
-      if (snr_db < config.min_snr_db) continue;  // decoder lost the symbol
-
-      lte::SrsChannelParams ch;
-      ch.delay_s = (true_range + config.processing_offset_m) / rf::kSpeedOfLight;
-      ch.snr_db = snr_db;
-      if (!los.line_of_sight(uav_true, ue_position)) {
-        ch.taps = lte::make_nlos_taps(config.nlos_taps, config.nlos_mean_excess_ns * 1e-9,
-                                      config.nlos_first_tap_power_db,
-                                      config.nlos_tap_decay_db, rng);
-      }
-      received.push_back(lte::apply_srs_channel(tx, ch, rng));
-      received_interval.push_back(i);
-    }
-  }
-
-  const std::vector<lte::TofEstimate> estimates = estimator.estimate_batch(received);
-
-  std::vector<double> distance_sums(n_intervals, 0.0);
-  std::vector<int> tof_counts(n_intervals, 0);
-  for (std::size_t s = 0; s < estimates.size(); ++s) {
-    distance_sums[received_interval[s]] += estimates[s].distance_m;
-    ++tof_counts[received_interval[s]];
-  }
 
   GpsTofSeries out;
   out.reserve(flight.size());
-  for (std::size_t i = 0; i < n_intervals; ++i) {
-    if (tof_counts[i] == 0) continue;
-    const uav::FlightSample& a = flight[i];
-    const uav::GpsFix fix = gps.sample(a.position, a.time_s);
-    if (!fix.valid) continue;  // outage: a ToF without a position is useless
-    out.push_back({fix.time_s, fix.position, distance_sums[i] / tof_counts[i]});
+  std::vector<lte::SrsSymbol> received;
+  std::vector<std::size_t> received_interval;  // interval index relative to `base`
+  for (std::size_t base = 0; base < n_intervals; base += batch_intervals) {
+    const std::size_t last = std::min(n_intervals, base + batch_intervals);
+    received.clear();
+    received_interval.clear();
+    for (std::size_t i = base; i < last; ++i) {
+      const uav::FlightSample& a = flight[i];
+      const uav::FlightSample& b = flight[i + 1];
+      for (int m = 0; m < srs_per_gps; ++m) {
+        // UAV keeps moving between SRS reports: interpolate the true position.
+        const double frac = static_cast<double>(m) / srs_per_gps;
+        const geo::Vec3 uav_true = a.position + (b.position - a.position) * frac;
+        const double true_range = uav_true.dist(ue_position);
+
+        const double path_loss = channel.path_loss_db(uav_true, ue_position);
+        const double snr_db = budget.snr_db(path_loss);
+        if (snr_db < config.min_snr_db) continue;  // decoder lost the symbol
+
+        lte::SrsChannelParams ch;
+        ch.delay_s = (true_range + config.processing_offset_m) / rf::kSpeedOfLight;
+        ch.snr_db = snr_db;
+        if (!los.line_of_sight(uav_true, ue_position)) {
+          ch.taps = lte::make_nlos_taps(config.nlos_taps, config.nlos_mean_excess_ns * 1e-9,
+                                        config.nlos_first_tap_power_db,
+                                        config.nlos_tap_decay_db, rng);
+        }
+        received.push_back(lte::apply_srs_channel(tx, ch, rng));
+        received_interval.push_back(i - base);
+      }
+    }
+
+    const std::vector<lte::TofEstimate> estimates = estimator.estimate_batch(received);
+
+    std::vector<double> distance_sums(last - base, 0.0);
+    std::vector<int> tof_counts(last - base, 0);
+    for (std::size_t s = 0; s < estimates.size(); ++s) {
+      distance_sums[received_interval[s]] += estimates[s].distance_m;
+      ++tof_counts[received_interval[s]];
+    }
+
+    for (std::size_t i = base; i < last; ++i) {
+      if (tof_counts[i - base] == 0) continue;
+      const uav::FlightSample& a = flight[i];
+      const uav::GpsFix fix = gps.sample(a.position, a.time_s);
+      if (!fix.valid) continue;  // outage: a ToF without a position is useless
+      out.push_back({fix.time_s, fix.position, distance_sums[i - base] / tof_counts[i - base]});
+    }
   }
   return out;
 }

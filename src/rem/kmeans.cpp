@@ -85,21 +85,23 @@ KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64
   result.assignment.assign(points.size(), 0);
   for (int iter = 0; iter < max_iterations; ++iter) {
     // Assignment sweep: each point is independent; `changed` is an OR over
-    // chunks, which is order-insensitive.
+    // chunks, which is order-insensitive. Reduced as int (0/1) because
+    // parallel_reduce forbids bool: vector<bool> partials would share words
+    // across chunks and race.
     const bool changed = core::parallel_reduce(
-        points.size(), 0, false,
-        [&](std::size_t begin, std::size_t end) {
-          bool chunk_changed = false;
-          for (std::size_t i = begin; i < end; ++i) {
-            const int a = nearest_center(points[i].position, centers);
-            if (a != result.assignment[i]) {
-              result.assignment[i] = a;
-              chunk_changed = true;
-            }
-          }
-          return chunk_changed;
-        },
-        [](bool a, bool b) { return a || b; });
+                             points.size(), 0, 0,
+                             [&](std::size_t begin, std::size_t end) {
+                               int chunk_changed = 0;
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 const int a = nearest_center(points[i].position, centers);
+                                 if (a != result.assignment[i]) {
+                                   result.assignment[i] = a;
+                                   chunk_changed = 1;
+                                 }
+                               }
+                               return chunk_changed;
+                             },
+                             [](int a, int b) { return a | b; }) != 0;
 
     // Update sweep: recompute weighted centroids from per-chunk partials.
     CentroidSums identity{std::vector<geo::Vec2>(centers.size()),

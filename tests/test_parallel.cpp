@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <random>
@@ -153,6 +154,75 @@ TEST(ThreadPoolTest, EnvironmentOverrideRespected) {
   EXPECT_EQ(core::configured_workers(), 5);
   core::set_global_workers(0);
   ASSERT_EQ(unsetenv("SKYRAN_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, ScopedWorkersOverridesAndRestores) {
+  core::set_global_workers(0);
+  const int base = core::configured_workers();
+  {
+    core::ScopedWorkers two(2);
+    EXPECT_EQ(core::configured_workers(), 2);
+    {
+      core::ScopedWorkers one(1);
+      EXPECT_EQ(core::configured_workers(), 1);
+      core::ScopedWorkers noop(0);  // <= 0 leaves the resolution chain alone
+      EXPECT_EQ(core::configured_workers(), 1);
+    }
+    EXPECT_EQ(core::configured_workers(), 2);
+    // The scoped override beats the explicit global one...
+    core::set_global_workers(5);
+    EXPECT_EQ(core::configured_workers(), 2);
+    core::set_global_workers(0);
+    // ...and is thread-local: another thread never sees it.
+    int other = 0;
+    std::thread([&] { other = core::configured_workers(); }).join();
+    EXPECT_EQ(other, base);
+  }
+  EXPECT_EQ(core::configured_workers(), base);
+}
+
+TEST(ThreadPoolTest, ScopedWorkersOneForcesInline) {
+  // Build a multi-lane pool first: the cap must win over the pool's size.
+  core::set_global_workers(kParallelWorkers);
+  core::parallel_for(64, [](std::size_t) {});
+  const core::ScopedWorkers serial(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;  // unsynchronized on purpose
+  core::parallel_for_chunks(100, 10, [&](std::size_t, std::size_t, std::size_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+  core::set_global_workers(0);
+}
+
+TEST(ThreadPoolTest, WorkerCountChangeWhileLoopsInFlight) {
+  // Growing the pool must never invalidate a loop already running on it:
+  // in-flight calls hold the pool via shared_ptr. Run under TSan in CI.
+  std::atomic<bool> stop{false};
+  std::atomic<int> loops{0};
+  std::vector<std::thread> runners;
+  for (int t = 0; t < 3; ++t)
+    runners.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::atomic<long> sum{0};
+        core::parallel_for(1000, [&](std::size_t i) {
+          sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 499500L);
+        loops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  // Each step requests a larger pool, forcing repeated rebuilds underneath
+  // the runners; the final reset to auto is also concurrency-safe now.
+  for (int want = 2; want <= 12; ++want) {
+    core::set_global_workers(want);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& th : runners) th.join();
+  core::set_global_workers(0);
+  EXPECT_GT(loops.load(), 0);
 }
 
 TEST(ParallelEquivalenceTest, RemIdwEstimate) {
