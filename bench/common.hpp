@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/skyran.hpp"
 #include "geo/stats.hpp"
 #include "mobility/deployment.hpp"
+#include "obs_session.hpp"
 #include "rem/planner.hpp"
 #include "sim/baselines.hpp"
 #include "sim/ground_truth.hpp"

@@ -8,6 +8,7 @@
 
 #include "lte/ranging.hpp"
 #include "lte/srs_channel.hpp"
+#include "obs_session.hpp"
 #include "rem/gradient.hpp"
 #include "rem/idw.hpp"
 #include "rem/kmeans.hpp"

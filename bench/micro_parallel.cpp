@@ -17,6 +17,7 @@
 #include "lte/ranging.hpp"
 #include "lte/srs.hpp"
 #include "lte/srs_channel.hpp"
+#include "obs_session.hpp"
 #include "rem/idw.hpp"
 #include "rem/kmeans.hpp"
 #include "rem/kriging.hpp"

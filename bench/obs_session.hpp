@@ -1,0 +1,44 @@
+// Environment-driven telemetry session shared by every bench binary
+// (included via common.hpp; the micro benches include it directly).
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace skyran::bench {
+
+/// Every bench dumps its telemetry alongside its results when
+/// SKYRAN_METRICS_OUT names a file:
+///
+///   SKYRAN_METRICS_OUT=fig20.jsonl ./build/bench/fig20_rem_convergence
+///
+/// Instrumentation is enabled during static initialization (before main)
+/// and the JSON-lines dump happens after main returns, so the whole bench
+/// run is covered without any per-bench code. Off (and zero-cost beyond
+/// one atomic load per instrumentation site) when the variable is unset.
+class ObsEnvSession {
+ public:
+  ObsEnvSession() {
+    if (const char* path = std::getenv("SKYRAN_METRICS_OUT")) {
+      path_ = path;
+      obs::set_enabled(true);
+    }
+  }
+  ~ObsEnvSession() {
+    if (path_.empty()) return;
+    std::ofstream os(path_);
+    if (os) obs::write_json_lines(os);
+  }
+  ObsEnvSession(const ObsEnvSession&) = delete;
+  ObsEnvSession& operator=(const ObsEnvSession&) = delete;
+
+ private:
+  std::string path_;
+};
+
+inline ObsEnvSession g_obs_env_session;
+
+}  // namespace skyran::bench

@@ -5,6 +5,7 @@
 
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 #include "sim/measurement.hpp"
 
 namespace skyran::core {
@@ -110,22 +111,37 @@ EpochReport SkyRan::run_epoch() {
   const ScopedWorkers workers(config_.threads);  // no-op when threads == 0 (auto)
   EpochReport report;
   report.epoch = ++epoch_;
+  obs::set_current_epoch(report.epoch);
+  SKYRAN_TRACE_SPAN("epoch.run");
+  SKYRAN_COUNTER_INC("epoch.runs");
 
   // Steps 1-4: localize the UEs.
-  report.estimated_ue_positions = localize_ues(report);
+  {
+    SKYRAN_TRACE_SPAN("epoch.localize");
+    report.estimated_ue_positions = localize_ues(report);
+  }
 
   // Step 5: operating altitude (first epoch only, Sec 3.3.1).
-  const double altitude = ensure_altitude(report.estimated_ue_positions, report);
+  const double altitude = [&] {
+    SKYRAN_TRACE_SPAN("epoch.altitude");
+    return ensure_altitude(report.estimated_ue_positions, report);
+  }();
   report.altitude_m = altitude;
 
   // REM setup with positional reuse (Sec 3.5).
+  SKYRAN_TRACE_SPAN("epoch.measure_and_place");
   current_rems_.clear();
   current_rems_.reserve(report.estimated_ue_positions.size());
   report.reused_rem.clear();
   std::vector<rem::TrajectoryHistory> histories;
   for (geo::Vec2 est : report.estimated_ue_positions) {
     const geo::Vec3 ue{est, world_.terrain().ground_height(est) + 1.5};
-    report.reused_rem.push_back(store_.find_near(est) != nullptr);
+    const bool reused = store_.find_near(est) != nullptr;
+    report.reused_rem.push_back(reused);
+    if (reused)
+      SKYRAN_COUNTER_INC("epoch.rem_cache.hit");
+    else
+      SKYRAN_COUNTER_INC("epoch.rem_cache.miss");
     current_rems_.push_back(store_.make_for_ue(world_.area(), config_.rem_cell_m, altitude, ue,
                                                fspl_, world_.budget(), config_.idw));
     const rem::TrajectoryHistory* h = find_history(est);
@@ -144,7 +160,11 @@ EpochReport SkyRan::run_epoch() {
   std::vector<geo::Path> flown;
   bool first_round = true;
   while (first_round || remaining > std::max(60.0, 0.1 * budget)) {
-    if (battery_.remaining_fraction() <= config_.battery_reserve_fraction) break;
+    if (battery_.remaining_fraction() <= config_.battery_reserve_fraction) {
+      SKYRAN_COUNTER_INC("epoch.measurement.battery_stops");
+      break;
+    }
+    SKYRAN_TRACE_SPAN("epoch.measure_round");
     planner.budget_m = budget > 0.0 ? remaining : 0.0;
     planner.seed = rng_();
     const rem::PlannedTrajectory plan = rem::plan_measurement_trajectory(
@@ -154,6 +174,7 @@ EpochReport SkyRan::run_epoch() {
       report.planned_k = plan.k;
       report.info_to_cost = plan.info_to_cost;
     }
+    SKYRAN_COUNTER_INC("epoch.measurement.rounds");
 
     const uav::FlightPlan flight =
         uav::FlightPlan::at_altitude(plan.path, altitude, config_.cruise_mps);
@@ -177,6 +198,7 @@ EpochReport SkyRan::run_epoch() {
   }
 
   // Placement (Sec 3.4), restricted to cells the UAV can hover in.
+  SKYRAN_TRACE_SPAN("epoch.placement");
   const std::vector<geo::Grid2D<double>> estimates = current_estimates();
   const rem::Placement placement = rem::choose_placement_feasible(
       estimates, world_.terrain(), altitude, config_.objective);
@@ -194,6 +216,13 @@ EpochReport SkyRan::run_epoch() {
 
   throughput_at_placement_bps_ = current_mean_throughput_bps();
   report.served_mean_throughput_bps = throughput_at_placement_bps_;
+
+  SKYRAN_HISTOGRAM_OBSERVE("epoch.total_flight_m", report.total_flight_m);
+  SKYRAN_HISTOGRAM_OBSERVE("epoch.measurement_flight_m", report.measurement_flight_m);
+  SKYRAN_HISTOGRAM_OBSERVE("epoch.info_to_cost", report.info_to_cost);
+  SKYRAN_HISTOGRAM_OBSERVE("epoch.planned_k", report.planned_k);
+  SKYRAN_GAUGE_SET("epoch.battery_fraction", battery_.remaining_fraction());
+  SKYRAN_GAUGE_SET("epoch.altitude_m", report.altitude_m);
   return report;
 }
 
@@ -215,7 +244,13 @@ double SkyRan::served_performance_ratio() const {
 }
 
 bool SkyRan::should_trigger_epoch() const {
-  return served_performance_ratio() < (1.0 - config_.epoch_drop_threshold);
+  const double ratio = served_performance_ratio();
+  const bool fire = ratio < (1.0 - config_.epoch_drop_threshold);
+  SKYRAN_COUNTER_INC("epoch.trigger.checks");
+  if (fire) SKYRAN_COUNTER_INC("epoch.trigger.fired");
+  SKYRAN_GAUGE_SET("epoch.trigger.service_ratio", ratio);
+  SKYRAN_HISTOGRAM_OBSERVE("epoch.trigger.service_ratio", ratio);
+  return fire;
 }
 
 }  // namespace skyran::core

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 
 namespace skyran::core {
 
@@ -63,9 +64,13 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& b
                                              static_cast<std::size_t>(workers_))
                      : static_cast<std::size_t>(workers_);
   if (threads_.empty() || chunks == 1 || lanes == 1) {
+    SKYRAN_COUNTER_INC("core.pool.runs_inline");
+    SKYRAN_COUNTER_ADD("core.pool.chunks", chunks);
     for (std::size_t c = 0; c < chunks; ++c) run_one(c);
     return;
   }
+  SKYRAN_COUNTER_INC("core.pool.runs_parallel");
+  SKYRAN_COUNTER_ADD("core.pool.chunks", chunks);
 
   // Work claiming is dynamic (atomic counter) but the chunks themselves are
   // fixed, so which thread runs a chunk never changes its result.
@@ -110,6 +115,10 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t grain, const ChunkBody& b
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t i = 0; i < helpers; ++i) queue_.emplace_back(drive);
+    // Queue depth after enqueue: >`helpers` means earlier loops' drivers are
+    // still waiting for a worker — the pool is oversubscribed.
+    SKYRAN_HISTOGRAM_OBSERVE("core.pool.queue_depth", queue_.size());
+    SKYRAN_HISTOGRAM_OBSERVE("core.pool.helpers", helpers);
   }
   cv_.notify_all();
 

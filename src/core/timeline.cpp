@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 #include "sim/table.hpp"
 
 namespace skyran::core {
@@ -50,6 +51,7 @@ TimelineResult run_timeline(SkyRan& skyran, sim::World& world,
     if (skyran.should_trigger_epoch()) {
       if (skyran.battery().remaining_fraction() <= config.battery_floor_fraction) {
         if (!battery_hold) {
+          SKYRAN_COUNTER_INC("timeline.battery_holds");
           result.events.push_back({TimelineEvent::Kind::kBatteryHold, now,
                                    "trigger suppressed: battery at " +
                                        sim::Table::num(100.0 * skyran.battery().remaining_fraction(),
@@ -59,6 +61,7 @@ TimelineResult run_timeline(SkyRan& skyran, sim::World& world,
         }
         continue;
       }
+      SKYRAN_COUNTER_INC("timeline.triggered_epochs");
       result.events.push_back({TimelineEvent::Kind::kTrigger, now,
                                "performance ratio " + sim::Table::num(ratio, 2) +
                                    " below threshold"});

@@ -1,6 +1,7 @@
 #include "localization/localizer.hpp"
 
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 #include "uav/trajectory.hpp"
 
 namespace skyran::localization {
@@ -15,6 +16,7 @@ LocalizationRun UeLocalizer::localize(geo::Vec2 start, std::vector<geo::Vec3> tr
                                       std::uint64_t seed) const {
   const geo::Rect area = channel_.terrain().area();
   expects(area.contains(start), "UeLocalizer::localize: start must be inside the area");
+  SKYRAN_TRACE_SPAN("loc.localize");
 
   const geo::Path track = uav::random_walk(area.inflated(-5.0), area.inflated(-5.0).clamp(start),
                                            config_.flight_length_m, config_.flight_leg_m, seed);
@@ -60,9 +62,14 @@ LocalizationRun UeLocalizer::localize(geo::Vec2 start, std::vector<geo::Vec3> tr
       est.offset_m = fit.per_ue[i].offset_m;
       est.rms_residual_m = fit.per_ue[i].rms_residual_m;
       est.valid = true;
+      SKYRAN_COUNTER_INC("loc.ue.localized");
+      SKYRAN_HISTOGRAM_OBSERVE("loc.mlat.rms_residual_m", est.rms_residual_m);
+    } else {
+      SKYRAN_COUNTER_INC("loc.ue.undecodable");
     }
     run.estimates.push_back(est);
   }
+  SKYRAN_GAUGE_SET("loc.mlat.shared_offset_m", fit.shared_offset_m);
   return run;
 }
 

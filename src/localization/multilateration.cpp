@@ -9,6 +9,7 @@
 
 #include "geo/contract.hpp"
 #include "geo/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace skyran::localization {
 
@@ -216,6 +217,7 @@ JointMultilaterationResult multilaterate_joint(std::span<const GpsTofSeries> per
           "multilaterate_joint: steps must be positive");
   expects(options.offset_max_m > options.offset_min_m,
           "multilaterate_joint: empty offset range");
+  SKYRAN_TRACE_SPAN("loc.mlat.joint");
 
   // Per (UE, grid candidate): robust statistics of excess = range - distance.
   // For any shared offset b, the candidate's misfit is approximately
@@ -292,6 +294,7 @@ JointMultilaterationResult multilaterate_joint(std::span<const GpsTofSeries> per
     out.per_ue.push_back(multilaterate_fixed_offset(per_ue_tuples[u], search_area,
                                                     ue_altitudes_m[u], best_b,
                                                     options.per_ue));
+    SKYRAN_HISTOGRAM_OBSERVE("loc.mlat.iterations", out.per_ue.back().iterations);
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 #include "rf/units.hpp"
 
 namespace skyran::localization {
@@ -36,6 +37,9 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
       std::max<std::size_t>(1, kBatchSymbolBudget / static_cast<std::size_t>(srs_per_gps));
   const std::size_t n_intervals = flight.size() - 1;
 
+  SKYRAN_TRACE_SPAN("loc.collect_gps_tof");
+  std::uint64_t dropped_low_snr = 0;
+  std::uint64_t gps_outages = 0;
   GpsTofSeries out;
   out.reserve(flight.size());
   std::vector<lte::SrsSymbol> received;
@@ -55,7 +59,10 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
 
         const double path_loss = channel.path_loss_db(uav_true, ue_position);
         const double snr_db = budget.snr_db(path_loss);
-        if (snr_db < config.min_snr_db) continue;  // decoder lost the symbol
+        if (snr_db < config.min_snr_db) {  // decoder lost the symbol
+          ++dropped_low_snr;
+          continue;
+        }
 
         lte::SrsChannelParams ch;
         ch.delay_s = (true_range + config.processing_offset_m) / rf::kSpeedOfLight;
@@ -83,10 +90,17 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
       if (tof_counts[i - base] == 0) continue;
       const uav::FlightSample& a = flight[i];
       const uav::GpsFix fix = gps.sample(a.position, a.time_s);
-      if (!fix.valid) continue;  // outage: a ToF without a position is useless
+      if (!fix.valid) {  // outage: a ToF without a position is useless
+        ++gps_outages;
+        continue;
+      }
       out.push_back({fix.time_s, fix.position, distance_sums[i - base] / tof_counts[i - base]});
     }
   }
+  SKYRAN_COUNTER_ADD("loc.srs.dropped_low_snr", dropped_low_snr);
+  SKYRAN_COUNTER_ADD("loc.gps.outages", gps_outages);
+  SKYRAN_COUNTER_ADD("loc.tuples.collected", out.size());
+  SKYRAN_HISTOGRAM_OBSERVE("loc.tuples.per_flight", out.size());
   return out;
 }
 

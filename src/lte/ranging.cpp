@@ -5,6 +5,7 @@
 
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 #include "rf/units.hpp"
 
 namespace skyran::lte {
@@ -94,8 +95,19 @@ TofEstimate TofEstimator::estimate(const SrsSymbol& received) const {
 
 std::vector<TofEstimate> TofEstimator::estimate_batch(
     std::span<const SrsSymbol> received) const {
+  SKYRAN_TRACE_SPAN("lte.tof.estimate_batch");
   std::vector<TofEstimate> out(received.size());
   core::parallel_for(received.size(), [&](std::size_t i) { out[i] = estimate(received[i]); });
+  SKYRAN_COUNTER_ADD("lte.tof.correlations", out.size());
+  SKYRAN_HISTOGRAM_OBSERVE("lte.tof.batch_symbols", out.size());
+  if (obs::enabled()) {
+    // Correlation-quality telemetry, recorded after the parallel sweep so
+    // the hot per-symbol kernel stays untouched.
+    for (const TofEstimate& e : out) {
+      SKYRAN_HISTOGRAM_OBSERVE("lte.tof.peak_to_side_db", e.peak_to_side_db);
+      SKYRAN_HISTOGRAM_OBSERVE("lte.tof.distance_m", e.distance_m);
+    }
+  }
   return out;
 }
 

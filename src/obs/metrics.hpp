@@ -1,0 +1,144 @@
+// Process-wide metrics substrate for the epoch hot paths: named counters,
+// gauges, and log-bucket histograms registered in a singleton
+// MetricsRegistry. Recording is lock-free (relaxed atomics; registration
+// takes a mutex once per call site), safe from inside parallel_for bodies,
+// and NEVER feeds back into simulation state — instrumentation on or off,
+// simulation outputs are bit-identical (enforced by tests/test_obs.cpp).
+//
+// Instrumentation is off by default: every SKYRAN_* macro in obs/obs.hpp
+// first checks the process-wide enabled() flag (one relaxed atomic load) and
+// does nothing when it is clear. Naming conventions and the exported JSON
+// schema are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skyran::obs {
+
+/// Process-wide instrumentation switch. Off (false) by default: all obs
+/// macros reduce to one relaxed atomic load.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event count. add() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed log2-bucket histogram: bounded memory, thread-safe observe() with
+/// per-bucket atomics, deterministic layout. Bucket b (1 <= b < kBuckets-1)
+/// holds values in [2^(b-33), 2^(b-32)); bucket 0 collects everything below
+/// (including zero and negatives), the last bucket everything above. The
+/// span 2^-32 .. 2^62 covers every unit the codebase records (fractions,
+/// meters, dB, iteration counts, microseconds).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 96;
+  static constexpr int kExponentOffset = 33;  ///< bucket 1 starts at 2^-32
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observed value; 0 when empty.
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Approximate quantile from the bucket counts: the geometric midpoint of
+  /// the bucket containing the q-th observation, clamped into [min, max].
+  /// Accurate to the bucket's factor-of-two width. q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+  std::array<std::uint64_t, kBuckets> bucket_counts() const;
+  /// Inclusive lower edge of bucket b (0 for the underflow bucket).
+  static double bucket_lower_bound(int b);
+  /// Index of the bucket that observe(v) lands in.
+  static int bucket_of(double v);
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of one metric, for the exporters.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Name -> metric map with pointer stability: a reference returned by
+/// counter()/gauge()/histogram() stays valid for the process lifetime (the
+/// obs macros cache it in a function-local static), so reset_values() zeroes
+/// metrics in place and never removes them. Lookup takes a mutex; call sites
+/// that record repeatedly should hold on to the reference.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zero every registered metric, preserving registrations (and therefore
+  /// every cached reference). Use between runs or test cases.
+  void reset_values();
+
+  /// Sorted-by-name copy of every metric's current value.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace skyran::obs

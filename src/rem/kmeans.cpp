@@ -7,6 +7,7 @@
 
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 
 namespace skyran::rem {
 
@@ -143,6 +144,9 @@ KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64
       },
       [](double a, double b) { return a + b; });
   result.centroids = std::move(centers);
+  SKYRAN_COUNTER_INC("rem.kmeans.runs");
+  SKYRAN_HISTOGRAM_OBSERVE("rem.kmeans.iterations", result.iterations);
+  SKYRAN_HISTOGRAM_OBSERVE("rem.kmeans.points", points.size());
   return result;
 }
 

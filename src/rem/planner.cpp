@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 #include "rem/gradient.hpp"
 #include "rem/kmeans.hpp"
 #include "rem/tsp.hpp"
@@ -18,6 +19,7 @@ PlannedTrajectory plan_measurement_trajectory(std::span<const Rem> rems,
           "plan_measurement_trajectory: history size must match REM count");
   expects(config.k_min >= 1 && config.k_max >= config.k_min,
           "plan_measurement_trajectory: invalid K range");
+  SKYRAN_TRACE_SPAN("rem.plan_trajectory");
 
   // Step 6.1: aggregate REM = cell-wise sum of per-UE estimates.
   geo::Grid2D<double> aggregate = rems.front().estimate(config.idw);
@@ -61,6 +63,12 @@ PlannedTrajectory plan_measurement_trajectory(std::span<const Rem> rems,
   }
   expects(have_best, "plan_measurement_trajectory: no feasible tour");
   best.high_gradient_cells = hot.size();
+  SKYRAN_COUNTER_INC("rem.planner.plans");
+  SKYRAN_HISTOGRAM_OBSERVE("rem.planner.tour_length_m", best.cost_m);
+  SKYRAN_HISTOGRAM_OBSERVE("rem.planner.info_gain", best.info_gain);
+  SKYRAN_HISTOGRAM_OBSERVE("rem.planner.info_to_cost", best.info_to_cost);
+  SKYRAN_HISTOGRAM_OBSERVE("rem.planner.k_selected", best.k);
+  SKYRAN_HISTOGRAM_OBSERVE("rem.planner.high_gradient_cells", best.high_gradient_cells);
   return best;
 }
 

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include <atomic>
+
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 #include "geo/stats.hpp"
+#include "obs/obs.hpp"
 #include "rem/idw.hpp"
 
 namespace skyran::rem {
@@ -64,6 +67,7 @@ void Rem::seed_from(const Rem& prior, const IdwParams& params) {
 }
 
 geo::Grid2D<double> Rem::estimate(const IdwParams& params) const {
+  SKYRAN_TRACE_SPAN("rem.estimate");
   // Gather measured cells as IDW samples.
   std::vector<IdwSample> samples;
   samples.reserve(measured_count_);
@@ -77,6 +81,11 @@ geo::Grid2D<double> Rem::estimate(const IdwParams& params) const {
   geo::Grid2D<double> out(area(), cell_size(), 0.0);
   auto& raw = out.raw();
   const int nx = out.nx();
+  // Cell-provenance tallies (measured / IDW-interpolated / background
+  // fallback), accumulated with relaxed atomics only when instrumentation is
+  // on; the estimate itself never depends on them.
+  const bool tally = obs::enabled();
+  std::atomic<std::uint64_t> idw_cells{0}, background_cells{0}, empty_cells{0};
   // Each cell is estimated independently: the sweep runs on the thread pool
   // and is bit-for-bit identical for any worker count.
   core::parallel_for(raw.size(), [&](std::size_t i) {
@@ -94,14 +103,26 @@ geo::Grid2D<double> Rem::estimate(const IdwParams& params) const {
       // the prior epoch's map dominates far from it.
       const double w = std::exp(-interp->nearest_m / params.background_blend_m);
       v = w * interp->value + (1.0 - w) * background_.at(c);
+      if (tally) idw_cells.fetch_add(1, std::memory_order_relaxed);
     } else if (interp) {
       v = interp->value;
+      if (tally) idw_cells.fetch_add(1, std::memory_order_relaxed);
     } else if (has_background()) {
       v = background_.at(c);
+      if (tally) background_cells.fetch_add(1, std::memory_order_relaxed);
     } else {
       v = 0.0;  // no information at all
+      if (tally) empty_cells.fetch_add(1, std::memory_order_relaxed);
     }
   });
+  if (tally) {
+    SKYRAN_COUNTER_ADD("rem.fill.cells_measured", measured_count_);
+    SKYRAN_COUNTER_ADD("rem.fill.cells_idw", idw_cells.load(std::memory_order_relaxed));
+    SKYRAN_COUNTER_ADD("rem.fill.cells_background",
+                       background_cells.load(std::memory_order_relaxed));
+    SKYRAN_COUNTER_ADD("rem.fill.cells_empty", empty_cells.load(std::memory_order_relaxed));
+    SKYRAN_HISTOGRAM_OBSERVE("rem.fill.measured_fraction", measured_fraction());
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "geo/contract.hpp"
+#include "obs/obs.hpp"
 
 namespace skyran::rem {
 
@@ -63,6 +64,10 @@ geo::Path plan_tour(geo::Vec2 start, std::vector<geo::Vec2> nodes) {
       }
     }
   }
+
+  SKYRAN_COUNTER_INC("rem.tsp.tours");
+  SKYRAN_HISTOGRAM_OBSERVE("rem.tsp.two_opt_rounds", rounds);
+  SKYRAN_HISTOGRAM_OBSERVE("rem.tsp.nodes", order.size());
 
   std::vector<geo::Vec2> pts;
   pts.reserve(order.size() + 1);

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links (CI docs job).
+
+Scans every *.md at the repo root and under docs/ for inline markdown links
+and images, and fails (exit 1) when a relative link points at a file that
+does not exist. External links (http/https/mailto) and pure in-page anchors
+(#...) are not fetched or validated; anchors on existing files are stripped.
+
+Usage: tools/check_links.py [repo_root]
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions ([id]: target) are rare in this repo but cheap to cover.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks and inline code so `[i](x)`-shaped code
+    fragments are not mistaken for links."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check(root: Path) -> int:
+    dead = []
+    for md in markdown_files(root):
+        text = strip_code_blocks(md.read_text(encoding="utf-8"))
+        targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+        for target in targets:
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                dead.append(f"{md.relative_to(root)}: dead link -> {target}")
+    if dead:
+        print(f"{len(dead)} dead intra-repo link(s):")
+        for line in dead:
+            print(f"  {line}")
+        return 1
+    count = len(list(markdown_files(root)))
+    print(f"checked {count} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(root.resolve()))

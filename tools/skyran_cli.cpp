@@ -4,8 +4,12 @@
 //
 //   skyran_cli --terrain nyc --ues 6 --epochs 4 --budget 800 --move 0.5
 //              --scheme skyran --seed 7 [--csv out.csv] [--phy-localization]
+//              [--metrics-out metrics.jsonl] [--trace]
 //
 // Schemes: skyran | uniform | centroid | random.
+// --metrics-out / --trace enable the observability layer (docs/OBSERVABILITY.md):
+// the former dumps counters/histograms/trace spans as JSON lines, the latter
+// prints a human-readable telemetry summary after the run.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -13,6 +17,7 @@
 #include <string>
 
 #include "mobility/model.hpp"
+#include "obs/obs.hpp"
 #include "skyran.hpp"
 #include "sim/table.hpp"
 
@@ -32,6 +37,8 @@ struct CliOptions {
   bool phy_localization = false;
   bool clustered = false;
   double timeline_min = 0.0;  ///< > 0: continuous-mission mode
+  std::optional<std::string> metrics_path;  ///< JSON-lines telemetry dump
+  bool trace = false;                       ///< print telemetry summary
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
@@ -42,7 +49,11 @@ struct CliOptions {
                "centroid|random]\n"
                "       [--seed N] [--csv PATH] [--phy-localization] [--clustered]\n"
                "       [--timeline MINUTES]   continuous mission with walking UEs\n"
-               "                              (skyran scheme only; overrides --epochs)\n";
+               "                              (skyran scheme only; overrides --epochs)\n"
+               "       [--metrics-out PATH]   enable instrumentation; dump telemetry\n"
+               "                              as JSON lines (docs/OBSERVABILITY.md)\n"
+               "       [--trace]              enable instrumentation; print a\n"
+               "                              telemetry summary after the run\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -75,6 +86,8 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--phy-localization") opt.phy_localization = true;
     else if (a == "--clustered") opt.clustered = true;
     else if (a == "--timeline") opt.timeline_min = std::stod(next(i));
+    else if (a == "--metrics-out") opt.metrics_path = next(i);
+    else if (a == "--trace") opt.trace = true;
     else usage(argv[0], "unknown flag '" + a + "'");
   }
   if (opt.ues < 1) usage(argv[0], "--ues must be >= 1");
@@ -87,10 +100,30 @@ CliOptions parse(int argc, char** argv) {
   return opt;
 }
 
+/// Dump telemetry per the CLI flags. Returns false when the metrics file
+/// could not be written.
+bool finish_telemetry(const CliOptions& opt) {
+  if (opt.trace) {
+    std::cout << "\n-- telemetry (--trace) --\n";
+    obs::write_summary(std::cout);
+  }
+  if (opt.metrics_path) {
+    std::ofstream os(*opt.metrics_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << *opt.metrics_path << "\n";
+      return false;
+    }
+    obs::write_json_lines(os);
+    std::cout << "wrote " << *opt.metrics_path << "\n";
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
+  if (opt.metrics_path || opt.trace) obs::set_enabled(true);
 
   sim::WorldConfig wc;
   wc.terrain_kind = opt.terrain;
@@ -144,7 +177,7 @@ int main(int argc, char** argv) {
               << " mean_service_ratio=" << sim::Table::num(r.mean_service_ratio, 3)
               << " flight=" << sim::Table::num(r.total_flight_m, 0) << " m battery="
               << sim::Table::num(100.0 * r.battery_remaining_fraction, 0) << " %\n";
-    return 0;
+    return finish_telemetry(opt) ? 0 : 1;
   }
 
   sim::Table table({"epoch", "position", "altitude_m", "flight_m", "rel_throughput",
@@ -204,5 +237,5 @@ int main(int argc, char** argv) {
     table.write_csv(os);
     std::cout << "wrote " << *opt.csv_path << "\n";
   }
-  return 0;
+  return finish_telemetry(opt) ? 0 : 1;
 }
