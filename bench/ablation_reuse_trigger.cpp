@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
           const sim::GroundTruth truth =
               sim::compute_ground_truth(world, r.altitude_m, bench::eval_cell(kind));
           rels.push_back(bench::cap1(sim::relative_throughput(world, truth, r.position)));
-          errs.push_back(bench::rem_error_db(world, skyran.current_rems(), cfg.idw));
+          errs.push_back(bench::rem_error_db(world, skyran.rem_bank()));
         }
       }
       reuse_table.add_row({sim::Table::num(budget, 0),

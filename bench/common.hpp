@@ -76,6 +76,20 @@ inline double rem_error_db(const sim::World& world, const std::vector<rem::Rem>&
   return total / static_cast<double>(rems.size());
 }
 
+/// Same metric read from a RemBank's cached estimate slabs (run_epoch leaves
+/// them freshly estimated with the run's IDW params).
+inline double rem_error_db(const sim::World& world, const rem::RemBank& bank) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < bank.ue_count(); ++i) {
+    geo::Grid2D<double> truth(world.area(), bank.cell_size(), 0.0);
+    truth.for_each([&](geo::CellIndex c, double& v) {
+      v = world.snr_db(geo::Vec3{truth.center_of(c), bank.altitude_m()}, bank.ue_position(i));
+    });
+    total += rem::median_abs_error_db(bank.estimate_grid(i), truth);
+  }
+  return total / static_cast<double>(bank.ue_count());
+}
+
 /// One SkyRAN epoch with the Gaussian-error localization ablation (fast and
 /// representative of the PHY pipeline's ~8 m accuracy) unless `phy` is set.
 inline EpochOutcome run_skyran_epoch(sim::World& world, terrain::TerrainKind kind,
@@ -102,7 +116,7 @@ inline EpochOutcome run_skyran_epoch(sim::World& world, terrain::TerrainKind kin
   const sim::GroundTruth truth =
       sim::compute_ground_truth(world, r.altitude_m, eval_cell(kind));
   out.relative_throughput = sim::relative_throughput(world, truth, r.position);
-  out.median_rem_error_db = rem_error_db(world, skyran.current_rems(), cfg.idw);
+  out.median_rem_error_db = rem_error_db(world, skyran.rem_bank());
   return out;
 }
 

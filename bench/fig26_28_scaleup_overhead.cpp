@@ -56,7 +56,7 @@ LadderResult search_ladder(bool dynamic, int n_seeds, PassFn pass) {
         sky_metric_rel.push_back(
             bench::cap1(sim::relative_throughput(world, truth, r.position)));
         sky_metric_err.push_back(
-            bench::rem_error_db(world, skyran.current_rems(), cfg.idw));
+            bench::rem_error_db(world, skyran.rem_bank()));
 
         const bench::EpochOutcome uni =
             bench::run_uniform_epoch(world, kind, r.altitude_m, budget, 440 + s + e);

@@ -46,7 +46,7 @@ Outcome run_dynamic(terrain::TerrainKind kind, int n_ues, int n_seeds, int seed_
       const sim::GroundTruth truth =
           sim::compute_ground_truth(world, r.altitude_m, bench::eval_cell(kind));
       sky_rel.push_back(bench::cap1(sim::relative_throughput(world, truth, r.position)));
-      sky_err.push_back(bench::rem_error_db(world, skyran.current_rems(), cfg.idw));
+      sky_err.push_back(bench::rem_error_db(world, skyran.rem_bank()));
 
       const bench::EpochOutcome uni = bench::run_uniform_epoch(
           world, kind, r.altitude_m, per_epoch, seed_base + 40 + s + e);

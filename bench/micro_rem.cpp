@@ -1,0 +1,171 @@
+// Full vs incremental REM re-estimation across a multi-round measurement
+// epoch. Each round deposits a tour's worth of SNR samples into the same
+// per-UE state twice — once into legacy rem::Rem objects that re-interpolate
+// the whole raster on every estimate() call, once into a rem::RemBank whose
+// estimate_all() re-interpolates only the dirty cells — then times both and
+// verifies the results stay bit-for-bit identical. Not a google-benchmark
+// binary: like micro_parallel it emits one machine-readable JSON line per
+// round (round 0 is the cold full pass; later rounds show the cache win).
+//
+// Usage: micro_rem [repetitions]   (default 5; best-of is reported)
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/path.hpp"
+#include "geo/rect.hpp"
+#include "obs_session.hpp"
+#include "rem/bank.hpp"
+#include "rem/rem.hpp"
+#include "rf/channel.hpp"
+
+namespace skyran::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool grids_equal(const geo::Grid2D<double>& a, const geo::Grid2D<double>& b) {
+  return a.same_geometry(b) && a.raw() == b.raw();
+}
+
+struct Deposit {
+  geo::Vec2 at;
+  double snr_db;
+};
+
+/// One measurement round: samples every metre along a random 3-waypoint
+/// tour — the density run_measurement_flight deposits (100 Hz reports at
+/// cruise speed land well under a metre apart; one per metre is conservative).
+std::vector<Deposit> tour_deposits(const geo::Rect& area, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> ux(area.min.x, area.max.x);
+  std::uniform_real_distribution<double> uy(area.min.y, area.max.y);
+  std::normal_distribution<double> noise(0.0, 1.8);
+  geo::Path tour;
+  for (int w = 0; w < 3; ++w) tour.push_back({ux(rng), uy(rng)});
+  std::vector<Deposit> out;
+  const double len = tour.length();
+  for (double s = 0.0; s <= len; s += 1.0) {
+    const geo::Vec2 p = tour.point_at(s);
+    // Synthetic smooth field + fading: value content is irrelevant to the
+    // timing, it only has to be deterministic per (point, draw).
+    out.push_back({p, 10.0 - 0.04 * p.dist(area.center()) + noise(rng)});
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace skyran::bench
+
+int main(int argc, char** argv) {
+  using namespace skyran;
+  using namespace skyran::bench;
+
+  const int reps = argc > 1 ? std::max(1, std::atoi(argv[1])) : 5;
+  const geo::Rect area{{0.0, 0.0}, {400.0, 400.0}};
+  const double cell = 4.0;
+  const double altitude = 60.0;
+  const int rounds = 6;
+  const rf::FsplChannel fspl(2.6e9);
+  const rem::IdwParams params;
+
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> ux(area.min.x, area.max.x);
+  std::uniform_real_distribution<double> uy(area.min.y, area.max.y);
+  std::vector<geo::Vec3> ues;
+  for (int i = 0; i < 6; ++i) ues.push_back({ux(rng), uy(rng), 1.5});
+
+  std::vector<rem::Rem> rems;
+  rem::RemBank bank(area, cell, altitude);
+  for (const geo::Vec3& ue : ues) {
+    rems.emplace_back(area, cell, altitude, ue);
+    rems.back().seed_from_model(fspl, rf::LinkBudget{});
+    bank.add_ue(ue);
+    bank.seed_from_model(bank.ue_count() - 1, fspl, rf::LinkBudget{});
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    const std::vector<Deposit> deposits = tour_deposits(area, rng);
+    for (const Deposit& d : deposits) {
+      for (std::size_t i = 0; i < ues.size(); ++i) {
+        // Per-UE offset keeps the six maps distinct without extra RNG draws.
+        const double snr = d.snr_db - 1.5 * static_cast<double>(i);
+        rems[i].add_measurement(d.at, snr);
+        bank.add_measurement(i, d.at, snr);
+      }
+    }
+
+    // Full re-estimate: what every consumer paid before the bank existed.
+    std::vector<geo::Grid2D<double>> legacy;
+    double full_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      std::vector<geo::Grid2D<double>> run;
+      run.reserve(rems.size());
+      const auto t0 = Clock::now();
+      for (const rem::Rem& rem : rems) run.push_back(rem.estimate(params));
+      const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+      if (dt.count() < full_ms) full_ms = dt.count();
+      legacy = std::move(run);
+    }
+
+    // Incremental: each rep starts from an identical pre-estimate copy of
+    // the dirty bank (copies made outside the timed region).
+    std::vector<rem::RemBank> copies(static_cast<std::size_t>(reps), bank);
+    double incremental_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      copies[static_cast<std::size_t>(r)].estimate_all(params);
+      const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+      if (dt.count() < incremental_ms) incremental_ms = dt.count();
+    }
+
+    bank.estimate_all(params);  // advance the real bank for the next round
+    const rem::RemBank::EstimateStats& stats = bank.last_estimate_stats();
+    bool equal = true;
+    for (std::size_t i = 0; i < rems.size(); ++i)
+      equal = equal && grids_equal(legacy[i], bank.estimate_grid(i));
+
+    std::printf(
+        "{\"bench\":\"micro_rem\",\"kind\":\"round\",\"round\":%d,\"ues\":%zu,"
+        "\"cells\":%zu,\"deposits\":%zu,\"full_ms\":%.3f,\"incremental_ms\":%.3f,"
+        "\"speedup\":%.3f,\"dirty_fraction\":%.4f,\"equal\":%s}\n",
+        round, ues.size(), stats.cells_total, deposits.size(), full_ms, incremental_ms,
+        full_ms / incremental_ms, stats.dirty_fraction(), equal ? "true" : "false");
+    std::fflush(stdout);
+  }
+
+  // The other consumer pattern: a second estimate_all with nothing new in
+  // between (the epoch loop estimates for the planner, then again for
+  // placement). Legacy re-interpolates everything; the bank returns its
+  // cached slab after one clean dirty-scan.
+  double full_ms = 1e300;
+  std::vector<geo::Grid2D<double>> legacy;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<geo::Grid2D<double>> run;
+    run.reserve(rems.size());
+    const auto t0 = Clock::now();
+    for (const rem::Rem& rem : rems) run.push_back(rem.estimate(params));
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    if (dt.count() < full_ms) full_ms = dt.count();
+    legacy = std::move(run);
+  }
+  double cached_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    bank.estimate_all(params);
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    if (dt.count() < cached_ms) cached_ms = dt.count();
+  }
+  bool equal = true;
+  for (std::size_t i = 0; i < rems.size(); ++i)
+    equal = equal && grids_equal(legacy[i], bank.estimate_grid(i));
+  std::printf(
+      "{\"bench\":\"micro_rem\",\"kind\":\"cache_hit\",\"ues\":%zu,\"cells\":%zu,"
+      "\"full_ms\":%.3f,\"incremental_ms\":%.3f,\"speedup\":%.3f,"
+      "\"dirty_fraction\":%.4f,\"equal\":%s}\n",
+      ues.size(), bank.last_estimate_stats().cells_total, full_ms, cached_ms,
+      full_ms / cached_ms, bank.last_estimate_stats().dirty_fraction(),
+      equal ? "true" : "false");
+  return 0;
+}

@@ -16,6 +16,7 @@ SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
       rng_(seed),
       fspl_(world.channel().frequency_hz()),
       store_(config.reuse_radius_m),
+      history_index_(std::max(config.reuse_radius_m, 1e-9)),
       position_(world.area().center()) {
   expects(config.epoch_drop_threshold > 0.0 && config.epoch_drop_threshold < 1.0,
           "SkyRan: epoch trigger threshold must be in (0,1)");
@@ -28,16 +29,25 @@ SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
 }
 
 rem::TrajectoryHistory& SkyRan::history_for(geo::Vec2 ue_position) {
-  for (HistoryEntry& e : history_)
-    if (e.position.dist(ue_position) <= config_.reuse_radius_m) return e.trajectories;
+  // first_within returns the earliest-inserted entry within R, matching the
+  // historical linear scan over history_.
+  if (const std::optional<std::size_t> hit =
+          history_index_.first_within(ue_position, config_.reuse_radius_m))
+    return history_[*hit].trajectories;
+  history_index_.insert(ue_position, history_.size());
   history_.push_back({ue_position, {}});
   return history_.back().trajectories;
 }
 
 const rem::TrajectoryHistory* SkyRan::find_history(geo::Vec2 ue_position) const {
-  for (const HistoryEntry& e : history_)
-    if (e.position.dist(ue_position) <= config_.reuse_radius_m) return &e.trajectories;
-  return nullptr;
+  const std::optional<std::size_t> hit =
+      history_index_.first_within(ue_position, config_.reuse_radius_m);
+  return hit ? &history_[*hit].trajectories : nullptr;
+}
+
+const rem::RemBank& SkyRan::rem_bank() const {
+  expects(bank_.has_value(), "SkyRan::rem_bank: no epoch has run yet");
+  return *bank_;
 }
 
 std::vector<geo::Vec2> SkyRan::localize_ues(EpochReport& report) {
@@ -128,10 +138,10 @@ EpochReport SkyRan::run_epoch() {
   }();
   report.altitude_m = altitude;
 
-  // REM setup with positional reuse (Sec 3.5).
+  // REM setup with positional reuse (Sec 3.5): one shared-geometry bank for
+  // the whole epoch instead of independent per-UE grids.
   SKYRAN_TRACE_SPAN("epoch.measure_and_place");
-  current_rems_.clear();
-  current_rems_.reserve(report.estimated_ue_positions.size());
+  bank_.emplace(world_.area(), config_.rem_cell_m, altitude);
   report.reused_rem.clear();
   std::vector<rem::TrajectoryHistory> histories;
   for (geo::Vec2 est : report.estimated_ue_positions) {
@@ -142,8 +152,8 @@ EpochReport SkyRan::run_epoch() {
       SKYRAN_COUNTER_INC("epoch.rem_cache.hit");
     else
       SKYRAN_COUNTER_INC("epoch.rem_cache.miss");
-    current_rems_.push_back(store_.make_for_ue(world_.area(), config_.rem_cell_m, altitude, ue,
-                                               fspl_, world_.budget(), config_.idw));
+    const std::size_t ue_idx = bank_->add_ue(ue);
+    store_.seed_bank_ue(*bank_, ue_idx, fspl_, world_.budget(), config_.idw);
     const rem::TrajectoryHistory* h = find_history(est);
     histories.push_back(h != nullptr ? *h : rem::TrajectoryHistory{});
   }
@@ -167,8 +177,11 @@ EpochReport SkyRan::run_epoch() {
     SKYRAN_TRACE_SPAN("epoch.measure_round");
     planner.budget_m = budget > 0.0 ? remaining : 0.0;
     planner.seed = rng_();
-    const rem::PlannedTrajectory plan = rem::plan_measurement_trajectory(
-        current_rems_, histories, tour_start, planner);
+    // Incremental refresh: only cells invalidated by the previous round's
+    // deposits are re-interpolated (all cells on the first round).
+    bank_->estimate_all(planner.idw);
+    const rem::PlannedTrajectory plan =
+        rem::plan_measurement_trajectory(*bank_, histories, tour_start, planner);
     if (plan.cost_m < 1.0) break;
     if (first_round) {
       report.planned_k = plan.k;
@@ -178,7 +191,7 @@ EpochReport SkyRan::run_epoch() {
 
     const uav::FlightPlan flight =
         uav::FlightPlan::at_altitude(plan.path, altitude, config_.cruise_mps);
-    sim::run_measurement_flight(world_, flight, current_rems_, config_.measurement, rng_);
+    sim::run_measurement_flight(world_, flight, *bank_, config_.measurement, rng_);
     battery_.drain(flight.duration_s(), config_.cruise_mps);
 
     report.measurement_flight_m += plan.cost_m;
@@ -194,12 +207,15 @@ EpochReport SkyRan::run_epoch() {
   for (std::size_t i = 0; i < report.estimated_ue_positions.size(); ++i) {
     rem::TrajectoryHistory& h = history_for(report.estimated_ue_positions[i]);
     h.insert(h.end(), flown.begin(), flown.end());
-    store_.put(current_rems_[i]);
+    store_.put_from_bank(*bank_, i);
   }
 
-  // Placement (Sec 3.4), restricted to cells the UAV can hover in.
+  // Placement (Sec 3.4), restricted to cells the UAV can hover in. The
+  // final incremental refresh folds in the last round's deposits; placement
+  // then reads the cached slabs directly as views (no per-UE copies).
   SKYRAN_TRACE_SPAN("epoch.placement");
-  const std::vector<geo::Grid2D<double>> estimates = current_estimates();
+  bank_->estimate_all(config_.idw);
+  const std::vector<geo::FieldView<const double>> estimates = bank_->estimate_views();
   const rem::Placement placement = rem::choose_placement_feasible(
       estimates, world_.terrain(), altitude, config_.objective);
   const double reposition_m = position_.dist(placement.position);
@@ -227,10 +243,13 @@ EpochReport SkyRan::run_epoch() {
 }
 
 std::vector<geo::Grid2D<double>> SkyRan::current_estimates() const {
-  const ScopedWorkers workers(config_.threads);
   std::vector<geo::Grid2D<double>> out;
-  out.reserve(current_rems_.size());
-  for (const rem::Rem& r : current_rems_) out.push_back(r.estimate(config_.idw));
+  if (!bank_) return out;
+  // run_epoch leaves the bank freshly estimated with config_.idw, so this is
+  // a copy of the cached slabs, not a re-estimation.
+  expects(bank_->estimates_current(), "SkyRan::current_estimates: bank estimates are stale");
+  out.reserve(bank_->ue_count());
+  for (std::size_t i = 0; i < bank_->ue_count(); ++i) out.push_back(bank_->estimate_grid(i));
   return out;
 }
 

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "geo/point_index.hpp"
+#include "rem/bank.hpp"
 #include "rem/store.hpp"
 #include "sim/world.hpp"
 #include "uav/battery.hpp"
@@ -59,7 +61,9 @@ class SkyRan {
   int epochs_run() const { return epoch_; }
   double total_flight_m() const { return total_flight_m_; }
   const rem::RemStore& rem_store() const { return store_; }
-  const std::vector<rem::Rem>& current_rems() const { return current_rems_; }
+  /// The current epoch's REMs, bank-resident (one shared-geometry slab per
+  /// UE). Valid after the first run_epoch().
+  const rem::RemBank& rem_bank() const;
   const uav::Battery& battery() const { return battery_; }
   const SkyRanConfig& config() const { return config_; }
 
@@ -82,10 +86,15 @@ class SkyRan {
     rem::TrajectoryHistory trajectories;
   };
   std::vector<HistoryEntry> history_;
+  /// history_ entries bucketed by position; ids are indices into history_.
+  /// first_within matches the historical "first entry in insertion order
+  /// within R" rule without the linear scan.
+  geo::PointIndex history_index_;
   rem::TrajectoryHistory& history_for(geo::Vec2 ue_position);
   const rem::TrajectoryHistory* find_history(geo::Vec2 ue_position) const;
 
-  std::vector<rem::Rem> current_rems_;
+  /// Rebuilt at the top of every epoch (geometry can change with altitude).
+  std::optional<rem::RemBank> bank_;
   geo::Vec2 position_;
   double altitude_ = 0.0;
   bool altitude_known_ = false;

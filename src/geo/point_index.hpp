@@ -1,0 +1,110 @@
+// PointIndex: a hash-bucketed 2-D point index for radius-R membership
+// queries keyed by insertion id. RemStore and SkyRan's trajectory-history
+// table both key entries by UE position with the paper's radius-R reuse rule
+// (Sec 3.5); this index replaces their O(N) linear scans while preserving
+// the legacy tie-breaking exactly: "first entry in insertion order" and
+// "nearest entry, earliest on ties".
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geo/contract.hpp"
+#include "geo/vec.hpp"
+
+namespace skyran::geo {
+
+class PointIndex {
+ public:
+  /// `bucket_m` is the hash-cell edge; pick it near the query radius so a
+  /// radius-R query touches a 3x3 bucket neighborhood.
+  explicit PointIndex(double bucket_m) : bucket_m_(bucket_m) {
+    expects(bucket_m > 0.0, "PointIndex: bucket size must be positive");
+  }
+
+  /// Register point `p` under caller-chosen id (ids need not be dense, but
+  /// the tie-breaking contract reads them as insertion order).
+  void insert(Vec2 p, std::size_t id) {
+    buckets_[key_of(p)].push_back({p, id});
+    ++size_;
+  }
+
+  /// Re-key an entry after its position changed (e.g. a store entry replaced
+  /// by a fresher REM measured for a nearby position).
+  void move(std::size_t id, Vec2 from, Vec2 to) {
+    auto it = buckets_.find(key_of(from));
+    expects(it != buckets_.end(), "PointIndex::move: unknown source bucket");
+    auto& entries = it->second;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].second != id) continue;
+      entries[i] = entries.back();
+      entries.pop_back();
+      if (entries.empty()) buckets_.erase(it);
+      buckets_[key_of(to)].push_back({to, id});
+      return;
+    }
+    expects(false, "PointIndex::move: id not found at source position");
+  }
+
+  /// Lowest id within `radius_m` of `p` (inclusive) — the entry a legacy
+  /// first-match linear scan over insertion order would return.
+  std::optional<std::size_t> first_within(Vec2 p, double radius_m) const {
+    std::optional<std::size_t> best;
+    visit_candidates(p, radius_m, [&](Vec2 q, std::size_t id) {
+      if (q.dist(p) <= radius_m && (!best || id < *best)) best = id;
+    });
+    return best;
+  }
+
+  /// Nearest entry within `radius_m` of `p`; ties go to the lowest id — the
+  /// entry a legacy strict-`<` nearest scan over insertion order would pick.
+  std::optional<std::size_t> nearest_within(Vec2 p, double radius_m) const {
+    std::optional<std::size_t> best;
+    double best_d = std::numeric_limits<double>::infinity();
+    visit_candidates(p, radius_m, [&](Vec2 q, std::size_t id) {
+      const double d = q.dist(p);
+      if (d > radius_m) return;
+      if (d < best_d || (d == best_d && best && id < *best)) {
+        best_d = d;
+        best = id;
+      }
+    });
+    return best;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  /// 2-D bucket coordinate packed into one 64-bit key.
+  std::int64_t key_of(Vec2 p) const {
+    const auto bx = static_cast<std::int64_t>(std::floor(p.x / bucket_m_));
+    const auto by = static_cast<std::int64_t>(std::floor(p.y / bucket_m_));
+    return (bx << 32) ^ (by & 0xffffffff);
+  }
+
+  template <typename Visit>
+  void visit_candidates(Vec2 p, double radius_m, Visit&& visit) const {
+    const auto bx0 = static_cast<std::int64_t>(std::floor((p.x - radius_m) / bucket_m_));
+    const auto bx1 = static_cast<std::int64_t>(std::floor((p.x + radius_m) / bucket_m_));
+    const auto by0 = static_cast<std::int64_t>(std::floor((p.y - radius_m) / bucket_m_));
+    const auto by1 = static_cast<std::int64_t>(std::floor((p.y + radius_m) / bucket_m_));
+    for (std::int64_t bx = bx0; bx <= bx1; ++bx) {
+      for (std::int64_t by = by0; by <= by1; ++by) {
+        const auto it = buckets_.find((bx << 32) ^ (by & 0xffffffff));
+        if (it == buckets_.end()) continue;
+        for (const auto& [q, id] : it->second) visit(q, id);
+      }
+    }
+  }
+
+  double bucket_m_;
+  std::size_t size_ = 0;
+  std::unordered_map<std::int64_t, std::vector<std::pair<Vec2, std::size_t>>> buckets_;
+};
+
+}  // namespace skyran::geo

@@ -1,0 +1,145 @@
+// RemBank: the shared-geometry structure-of-arrays REM engine (paper
+// Secs 3.3/3.5). All per-UE REMs of one epoch share the operating area, cell
+// size and altitude, so the bank stores them as contiguous N_ue x nx x ny
+// slabs (sums, counts, background, cached estimate) instead of N independent
+// rem::Rem objects. On top of the layout win, the bank tracks which cells a
+// measurement flight invalidated and re-interpolates ONLY those in
+// estimate_all() — multi-round epochs stop paying full-raster IDW per round
+// while staying bit-identical to the per-UE Rem::estimate path (enforced by
+// tests/test_rem_bank.cpp, serial and parallel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/field_view.hpp"
+#include "geo/grid.hpp"
+#include "geo/rect.hpp"
+#include "geo/vec.hpp"
+#include "rem/rem.hpp"
+#include "rf/channel.hpp"
+#include "rf/link.hpp"
+
+namespace skyran::rem {
+
+class RemBank {
+ public:
+  /// Bank over `area` at `altitude_m` with square `cell_size` cells; UEs are
+  /// appended with add_ue().
+  RemBank(geo::Rect area, double cell_size, double altitude_m);
+
+  /// Append a UE (returns its index). Its maps start empty with no
+  /// background; seed via seed_from_model / seed_from.
+  std::size_t add_ue(geo::Vec3 ue_position);
+
+  std::size_t ue_count() const { return ue_pos_.size(); }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t cells_per_ue() const { return cells_; }
+  const geo::Rect& area() const { return area_; }
+  double cell_size() const { return cell_size_; }
+  double altitude_m() const { return altitude_m_; }
+  const geo::Vec3& ue_position(std::size_t ue) const;
+
+  /// Record one SNR report for `ue` taken at UAV ground-position `at`;
+  /// same averaging semantics as Rem::add_measurement, plus dirty tracking.
+  void add_measurement(std::size_t ue, geo::Vec2 at, double snr_db);
+
+  /// Seed `ue`'s background from the channel model (brand-new UEs).
+  void seed_from_model(std::size_t ue, const rf::ChannelModel& model,
+                       const rf::LinkBudget& budget);
+
+  /// Seed `ue`'s background from a stored REM's estimate (positional reuse,
+  /// Sec 3.5); same provenance rule as Rem::seed_from.
+  void seed_from(std::size_t ue, const Rem& prior, const IdwParams& params = {});
+
+  std::size_t measured_cells(std::size_t ue) const;
+  Rem::BackgroundSource background_source(std::size_t ue) const;
+
+  /// Refresh the cached estimate slab: re-interpolates only cells
+  /// invalidated since the last call (deposited cells, plus every cell whose
+  /// stored influence radius reaches a fresh deposit), parallelized over
+  /// (ue x row) chunks on the global thread pool. Results are bit-for-bit
+  /// identical to running Rem::estimate per UE on the same accumulated
+  /// state, for any worker count. Changing `params` between calls forces a
+  /// full recompute (the cache is parameter-specific).
+  void estimate_all(const IdwParams& params = {});
+
+  /// True when the cached estimates reflect every deposit/seed so far (i.e.
+  /// estimate_all ran and nothing changed since).
+  bool estimates_current() const { return estimated_once_ && !dirty_any_; }
+
+  /// Non-owning view of `ue`'s cached estimate; valid until the bank is
+  /// mutated or destroyed. Requires estimates_current().
+  geo::FieldView<const double> estimate(std::size_t ue) const;
+  /// Views for every UE, in UE order (placement/planner input).
+  std::vector<geo::FieldView<const double>> estimate_views() const;
+  /// Owning copy of `ue`'s cached estimate.
+  geo::Grid2D<double> estimate_grid(std::size_t ue) const;
+
+  /// Non-owning view of `ue`'s background raster.
+  geo::FieldView<const double> background(std::size_t ue) const;
+
+  /// Materialize `ue` as a standalone rem::Rem, bit-identical to the object
+  /// the legacy per-UE flow would have built (store persistence / handoff).
+  Rem extract_rem(std::size_t ue) const;
+
+  /// Tallies from the last estimate_all() call.
+  struct EstimateStats {
+    std::size_t cells_total = 0;
+    std::size_t cells_reestimated = 0;  ///< dirty: recomputed this call
+    std::size_t cells_cached = 0;       ///< clean: served from the cache slab
+    double dirty_fraction() const {
+      return cells_total == 0
+                 ? 0.0
+                 : static_cast<double>(cells_reestimated) / static_cast<double>(cells_total);
+    }
+  };
+  const EstimateStats& last_estimate_stats() const { return stats_; }
+
+ private:
+  std::size_t flat(std::size_t ue, geo::CellIndex c) const {
+    return ue * cells_ + static_cast<std::size_t>(c.iy) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(c.ix);
+  }
+  geo::CellIndex cell_of(geo::Vec2 p) const;
+  geo::Vec2 center_of(geo::CellIndex c) const;
+
+  geo::Rect area_;
+  double cell_size_;
+  double altitude_m_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::size_t cells_ = 0;
+
+  // Structure-of-arrays slabs, each ue_count() * cells_per_ue() long,
+  // UE-major then row-major (same flat order as Grid2D).
+  std::vector<double> sums_;
+  std::vector<int> counts_;
+  std::vector<double> background_;
+  std::vector<double> estimate_;
+  /// Per-cell invalidation radius from the last interpolation of that cell:
+  /// a fresh sample farther than this cannot change the cell's estimate
+  /// (measured cells use 0 — only a direct deposit changes their mean).
+  std::vector<double> influence_;
+  /// Cell deposited into since the last estimate_all (dirty by definition).
+  std::vector<std::uint8_t> pending_;
+
+  // Per-UE state.
+  std::vector<geo::Vec3> ue_pos_;
+  std::vector<Rem::BackgroundSource> source_;
+  std::vector<std::size_t> measured_count_;
+  /// Everything stale for this UE (new UE, reseeded background, or changed
+  /// interpolation parameters): next estimate_all recomputes all its cells.
+  std::vector<std::uint8_t> full_pending_;
+  /// Flat cell indices (within the UE's slab) deposited into since the last
+  /// estimate_all; their centers are the fresh sample positions.
+  std::vector<std::vector<std::size_t>> fresh_cells_;
+
+  bool estimated_once_ = false;
+  bool dirty_any_ = false;
+  IdwParams last_params_{};
+  EstimateStats stats_{};
+};
+
+}  // namespace skyran::rem

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <random>
 
-#include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "rem/rasterize.hpp"
 
 namespace skyran::rem {
 
@@ -151,15 +151,9 @@ std::optional<double> KrigingInterpolator::estimate(geo::Vec2 p, int k,
 geo::Grid2D<double> KrigingInterpolator::estimate_grid(double cell_size, int k,
                                                        double max_radius_m,
                                                        double fallback) const {
-  geo::Grid2D<double> out(index_.area(), cell_size, fallback);
-  auto& raw = out.raw();
-  const int nx = out.nx();
-  core::parallel_for(raw.size(), [&](std::size_t i) {
-    const geo::CellIndex c{static_cast<int>(i % static_cast<std::size_t>(nx)),
-                           static_cast<int>(i / static_cast<std::size_t>(nx))};
-    raw[i] = estimate(out.center_of(c), k, max_radius_m).value_or(fallback);
+  return rasterize_estimates(index_.area(), cell_size, fallback, [&](geo::Vec2 center) {
+    return estimate(center, k, max_radius_m);
   });
-  return out;
 }
 
 }  // namespace skyran::rem

@@ -71,7 +71,12 @@ Placement3D choose_placement_3d(std::span<const LayeredRem> stacks, const terrai
     std::vector<geo::Grid2D<double>> maps;
     maps.reserve(stacks.size());
     for (const LayeredRem& s : stacks) maps.push_back(s.layer(li).estimate(params));
-    const Placement p = choose_placement_feasible(maps, t, ladder[li], objective);
+    // Feed the placement search through the view path (the maps stay alive
+    // in this scope, so non-owning views are safe).
+    std::vector<geo::FieldView<const double>> views;
+    views.reserve(maps.size());
+    for (const geo::Grid2D<double>& m : maps) views.push_back(geo::view_of(m));
+    const Placement p = choose_placement_feasible(views, t, ladder[li], objective);
     if (p.objective_snr_db > best_v) {
       best_v = p.objective_snr_db;
       best.position = p.position;

@@ -9,21 +9,41 @@
 
 namespace skyran::rem {
 
-geo::Grid2D<double> min_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps) {
+namespace {
+
+using ConstView = geo::FieldView<const double>;
+
+// Grid2D callers funnel through the view implementations; a view is two
+// pointers and the geometry, so this adapter costs one small allocation.
+std::vector<ConstView> as_views(std::span<const geo::Grid2D<double>> maps) {
+  std::vector<ConstView> out;
+  out.reserve(maps.size());
+  for (const geo::Grid2D<double>& m : maps) out.push_back(geo::view_of(m));
+  return out;
+}
+
+}  // namespace
+
+geo::Grid2D<double> min_snr_map(std::span<const ConstView> per_ue_maps) {
   expects(!per_ue_maps.empty(), "min_snr_map: need at least one REM");
-  geo::Grid2D<double> out = per_ue_maps.front();
+  geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
   for (std::size_t i = 1; i < per_ue_maps.size(); ++i)
-    expects(out.same_geometry(per_ue_maps[i]), "min_snr_map: geometry mismatch");
+    expects(per_ue_maps[i].same_geometry(out), "min_snr_map: geometry mismatch");
   core::parallel_for(out.raw().size(), [&](std::size_t j) {
-    double v = per_ue_maps.front().raw()[j];
+    double v = per_ue_maps.front()[j];
     for (std::size_t i = 1; i < per_ue_maps.size(); ++i)
-      v = std::min(v, per_ue_maps[i].raw()[j]);
+      v = std::min(v, per_ue_maps[i][j]);
     out.raw()[j] = v;
   });
   return out;
 }
 
-geo::Grid2D<double> mean_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps,
+geo::Grid2D<double> min_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps) {
+  const std::vector<ConstView> views = as_views(per_ue_maps);
+  return min_snr_map(std::span<const ConstView>(views));
+}
+
+geo::Grid2D<double> mean_snr_map(std::span<const ConstView> per_ue_maps,
                                  std::span<const double> weights) {
   expects(!per_ue_maps.empty(), "mean_snr_map: need at least one REM");
   expects(weights.empty() || weights.size() == per_ue_maps.size(),
@@ -31,7 +51,7 @@ geo::Grid2D<double> mean_snr_map(std::span<const geo::Grid2D<double>> per_ue_map
   geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
   double weight_sum = 0.0;
   for (std::size_t i = 0; i < per_ue_maps.size(); ++i) {
-    expects(out.same_geometry(per_ue_maps[i]), "mean_snr_map: geometry mismatch");
+    expects(per_ue_maps[i].same_geometry(out), "mean_snr_map: geometry mismatch");
     const double w = weights.empty() ? 1.0 : weights[i];
     expects(w >= 0.0, "mean_snr_map: weights must be non-negative");
     weight_sum += w;
@@ -42,30 +62,42 @@ geo::Grid2D<double> mean_snr_map(std::span<const geo::Grid2D<double>> per_ue_map
   core::parallel_for(out.raw().size(), [&](std::size_t j) {
     double acc = 0.0;
     for (std::size_t i = 0; i < per_ue_maps.size(); ++i)
-      acc += (weights.empty() ? 1.0 : weights[i]) * per_ue_maps[i].raw()[j];
+      acc += (weights.empty() ? 1.0 : weights[i]) * per_ue_maps[i][j];
     out.raw()[j] = acc / weight_sum;
+  });
+  return out;
+}
+
+geo::Grid2D<double> mean_snr_map(std::span<const geo::Grid2D<double>> per_ue_maps,
+                                 std::span<const double> weights) {
+  const std::vector<ConstView> views = as_views(per_ue_maps);
+  return mean_snr_map(std::span<const ConstView>(views), weights);
+}
+
+geo::Grid2D<double> coverage_map(std::span<const ConstView> per_ue_maps,
+                                 double threshold_db) {
+  expects(!per_ue_maps.empty(), "coverage_map: need at least one REM");
+  geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
+  for (const ConstView& m : per_ue_maps)
+    expects(m.same_geometry(out), "coverage_map: geometry mismatch");
+  core::parallel_for(out.raw().size(), [&](std::size_t j) {
+    double served = 0.0;
+    for (const ConstView& m : per_ue_maps)
+      if (m[j] >= threshold_db) served += 1.0;
+    out.raw()[j] = served / static_cast<double>(per_ue_maps.size());
   });
   return out;
 }
 
 geo::Grid2D<double> coverage_map(std::span<const geo::Grid2D<double>> per_ue_maps,
                                  double threshold_db) {
-  expects(!per_ue_maps.empty(), "coverage_map: need at least one REM");
-  geo::Grid2D<double> out(per_ue_maps.front().area(), per_ue_maps.front().cell_size(), 0.0);
-  for (const geo::Grid2D<double>& m : per_ue_maps)
-    expects(out.same_geometry(m), "coverage_map: geometry mismatch");
-  core::parallel_for(out.raw().size(), [&](std::size_t j) {
-    double served = 0.0;
-    for (const geo::Grid2D<double>& m : per_ue_maps)
-      if (m.raw()[j] >= threshold_db) served += 1.0;
-    out.raw()[j] = served / static_cast<double>(per_ue_maps.size());
-  });
-  return out;
+  const std::vector<ConstView> views = as_views(per_ue_maps);
+  return coverage_map(std::span<const ConstView>(views), threshold_db);
 }
 
 namespace {
 
-geo::Grid2D<double> objective_map(std::span<const geo::Grid2D<double>> per_ue_maps,
+geo::Grid2D<double> objective_map(std::span<const ConstView> per_ue_maps,
                                   PlacementObjective objective,
                                   std::span<const double> weights) {
   switch (objective) {
@@ -122,18 +154,33 @@ Placement argmax_placement(const geo::Grid2D<double>& map) {
 
 }  // namespace
 
-Placement choose_placement(std::span<const geo::Grid2D<double>> per_ue_maps,
+Placement choose_placement(std::span<const ConstView> per_ue_maps,
                            PlacementObjective objective, std::span<const double> weights) {
   return argmax_placement(objective_map(per_ue_maps, objective, weights));
 }
 
-Placement choose_placement_feasible(std::span<const geo::Grid2D<double>> per_ue_maps,
+Placement choose_placement(std::span<const geo::Grid2D<double>> per_ue_maps,
+                           PlacementObjective objective, std::span<const double> weights) {
+  const std::vector<ConstView> views = as_views(per_ue_maps);
+  return choose_placement(std::span<const ConstView>(views), objective, weights);
+}
+
+Placement choose_placement_feasible(std::span<const ConstView> per_ue_maps,
                                     const terrain::Terrain& t, double altitude_m,
                                     PlacementObjective objective,
                                     std::span<const double> weights, double clearance_m) {
   geo::Grid2D<double> map = objective_map(per_ue_maps, objective, weights);
   mask_infeasible_cells(map, t, altitude_m, clearance_m);
   return argmax_placement(map);
+}
+
+Placement choose_placement_feasible(std::span<const geo::Grid2D<double>> per_ue_maps,
+                                    const terrain::Terrain& t, double altitude_m,
+                                    PlacementObjective objective,
+                                    std::span<const double> weights, double clearance_m) {
+  const std::vector<ConstView> views = as_views(per_ue_maps);
+  return choose_placement_feasible(std::span<const ConstView>(views), t, altitude_m, objective,
+                                   weights, clearance_m);
 }
 
 void mask_infeasible_cells(geo::Grid2D<double>& objective, const terrain::Terrain& t,

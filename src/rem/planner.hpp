@@ -42,4 +42,14 @@ PlannedTrajectory plan_measurement_trajectory(std::span<const Rem> rems,
                                               const std::vector<TrajectoryHistory>& history,
                                               geo::Vec2 start, const PlannerConfig& config);
 
+class RemBank;
+
+/// Same, reading the per-UE estimates from a RemBank's cached slabs instead
+/// of re-running full-map estimation. Requires bank.estimates_current()
+/// (call RemBank::estimate_all with config.idw first); produces bit-identical
+/// tours to the per-REM overload on equivalent state.
+PlannedTrajectory plan_measurement_trajectory(const RemBank& bank,
+                                              const std::vector<TrajectoryHistory>& history,
+                                              geo::Vec2 start, const PlannerConfig& config);
+
 }  // namespace skyran::rem

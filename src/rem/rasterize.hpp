@@ -1,0 +1,34 @@
+// Shared rasterize-over-interpolator helper: IDW and kriging both expose a
+// "one estimate per cell center, parallel across cells" full-map raster; the
+// loop lives here once so the two stay structurally identical (and any
+// future interpolator gets the same determinism contract for free).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/thread_pool.hpp"
+#include "geo/grid.hpp"
+#include "geo/rect.hpp"
+
+namespace skyran::rem {
+
+/// Fill a grid over `area` by evaluating `estimate_at(center) ->
+/// std::optional<double>` at every cell center on the global thread pool;
+/// cells where the interpolator has nothing in range take `fallback`.
+/// Bit-for-bit identical for any worker count (cells are independent).
+template <typename EstimateAt>
+geo::Grid2D<double> rasterize_estimates(geo::Rect area, double cell_size, double fallback,
+                                        EstimateAt&& estimate_at) {
+  geo::Grid2D<double> out(area, cell_size, fallback);
+  auto& raw = out.raw();
+  const int nx = out.nx();
+  core::parallel_for(raw.size(), [&](std::size_t i) {
+    const geo::CellIndex c{static_cast<int>(i % static_cast<std::size_t>(nx)),
+                           static_cast<int>(i / static_cast<std::size_t>(nx))};
+    raw[i] = estimate_at(out.center_of(c)).value_or(fallback);
+  });
+  return out;
+}
+
+}  // namespace skyran::rem

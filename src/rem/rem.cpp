@@ -36,6 +36,13 @@ void Rem::restore_measurement(geo::CellIndex c, double snr_sum_db, int count) {
   counts_.at(c) = count;
 }
 
+void Rem::restore_background(const geo::Grid2D<double>& background, BackgroundSource source) {
+  expects(background_.same_geometry(background),
+          "Rem::restore_background: geometry mismatch");
+  background_ = background;
+  background_source_ = source;
+}
+
 double Rem::measured_fraction() const {
   return static_cast<double>(measured_count_) / static_cast<double>(counts_.size());
 }

@@ -65,6 +65,13 @@ class Rem {
   /// existing content of the cell.
   void restore_measurement(geo::CellIndex c, double snr_sum_db, int count);
 
+  /// Where the background values came from.
+  enum class BackgroundSource { kNone, kModel, kPrior };
+
+  /// Restore the background raster and its provenance verbatim (used by
+  /// rem::RemBank to materialize a Rem from its slabs). Geometry must match.
+  void restore_background(const geo::Grid2D<double>& background, BackgroundSource source);
+
   /// Full-map estimate: measured mean where available, IDW over measured
   /// cells elsewhere, background where no measurement is in range.
   geo::Grid2D<double> estimate(const IdwParams& params = {}) const;
@@ -74,8 +81,6 @@ class Rem {
   double altitude_m() const { return altitude_m_; }
   const geo::Vec3& ue_position() const { return ue_position_; }
   void set_ue_position(geo::Vec3 p) { ue_position_ = p; }
-  /// Where the background values came from.
-  enum class BackgroundSource { kNone, kModel, kPrior };
 
   const geo::Grid2D<double>& background() const { return background_; }
   bool has_background() const { return background_source_ != BackgroundSource::kNone; }

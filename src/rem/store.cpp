@@ -1,5 +1,6 @@
 #include "rem/store.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 
 #include "geo/contract.hpp"
+#include "rem/bank.hpp"
 
 namespace {
 
@@ -31,31 +33,30 @@ T read_pod(std::istream& is) {
 
 namespace skyran::rem {
 
-RemStore::RemStore(double reuse_radius_m) : reuse_radius_m_(reuse_radius_m) {
+RemStore::RemStore(double reuse_radius_m)
+    : reuse_radius_m_(reuse_radius_m), index_(std::max(reuse_radius_m, 1e-9)) {
   expects(reuse_radius_m > 0.0, "RemStore: reuse radius must be positive");
 }
 
 void RemStore::put(Rem rem) {
-  for (Rem& existing : entries_) {
-    if (existing.ue_position().xy().dist(rem.ue_position().xy()) <= reuse_radius_m_) {
-      existing = std::move(rem);
-      return;
-    }
+  // Replaces the earliest-inserted entry within R (first_within returns the
+  // minimum id), matching the historical linear scan over entries_.
+  if (const std::optional<std::size_t> hit =
+          index_.first_within(rem.ue_position().xy(), reuse_radius_m_)) {
+    const geo::Vec2 old_pos = entries_[*hit].ue_position().xy();
+    index_.move(*hit, old_pos, rem.ue_position().xy());
+    entries_[*hit] = std::move(rem);
+    return;
   }
+  index_.insert(rem.ue_position().xy(), entries_.size());
   entries_.push_back(std::move(rem));
 }
 
 const Rem* RemStore::find_near(geo::Vec2 position) const {
-  const Rem* best = nullptr;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (const Rem& r : entries_) {
-    const double d = r.ue_position().xy().dist(position);
-    if (d <= reuse_radius_m_ && d < best_d) {
-      best_d = d;
-      best = &r;
-    }
-  }
-  return best;
+  // nearest_within breaks distance ties on the lower id, matching the
+  // strict-< improvement rule of the historical scan (earliest entry wins).
+  const std::optional<std::size_t> hit = index_.nearest_within(position, reuse_radius_m_);
+  return hit ? &entries_[*hit] : nullptr;
 }
 
 void RemStore::save(std::ostream& os) const {
@@ -115,6 +116,7 @@ RemStore RemStore::load(std::istream& is) {
       const auto count = read_pod<std::int32_t>(is);
       rem.restore_measurement({ix, iy}, sum, count);
     }
+    store.index_.insert(rem.ue_position().xy(), store.entries_.size());
     store.entries_.push_back(std::move(rem));
   }
   return store;
@@ -130,6 +132,20 @@ Rem RemStore::make_for_ue(geo::Rect area, double cell_size, double altitude_m,
     rem.seed_from_model(fallback_model, budget);
   }
   return rem;
+}
+
+void RemStore::seed_bank_ue(RemBank& bank, std::size_t ue,
+                            const rf::ChannelModel& fallback_model,
+                            const rf::LinkBudget& budget, const IdwParams& idw) const {
+  if (const Rem* prior = find_near(bank.ue_position(ue).xy())) {
+    bank.seed_from(ue, *prior, idw);
+  } else {
+    bank.seed_from_model(ue, fallback_model, budget);
+  }
+}
+
+void RemStore::put_from_bank(const RemBank& bank, std::size_t ue) {
+  put(bank.extract_rem(ue));
 }
 
 }  // namespace skyran::rem

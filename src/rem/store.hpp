@@ -9,9 +9,12 @@
 #include <optional>
 #include <vector>
 
+#include "geo/point_index.hpp"
 #include "rem/rem.hpp"
 
 namespace skyran::rem {
+
+class RemBank;
 
 class RemStore {
  public:
@@ -32,6 +35,14 @@ class RemStore {
                   const rf::ChannelModel& fallback_model, const rf::LinkBudget& budget,
                   const IdwParams& idw = {}) const;
 
+  /// Bank-resident equivalent of make_for_ue: seed `bank`'s UE `ue` from the
+  /// nearest stored REM within R when one exists, else from `fallback_model`.
+  void seed_bank_ue(RemBank& bank, std::size_t ue, const rf::ChannelModel& fallback_model,
+                    const rf::LinkBudget& budget, const IdwParams& idw = {}) const;
+
+  /// Bank-resident equivalent of put(): persist `bank`'s UE `ue`.
+  void put_from_bank(const RemBank& bank, std::size_t ue);
+
   std::size_t size() const { return entries_.size(); }
   double reuse_radius_m() const { return reuse_radius_m_; }
   const std::vector<Rem>& entries() const { return entries_; }
@@ -44,6 +55,10 @@ class RemStore {
  private:
   double reuse_radius_m_;
   std::vector<Rem> entries_;
+  /// Entries bucketed by UE position; ids are indices into entries_. Kept in
+  /// lockstep by put()/load() so lookups are O(points-in-3x3-buckets) instead
+  /// of a scan over every stored REM.
+  geo::PointIndex index_;
 };
 
 }  // namespace skyran::rem

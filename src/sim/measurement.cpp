@@ -34,4 +34,28 @@ std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& pl
   return reports;
 }
 
+std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& plan,
+                                   rem::RemBank& bank, const MeasurementConfig& config,
+                                   std::mt19937_64& rng) {
+  expects(bank.ue_count() == world.ue_positions().size(),
+          "run_measurement_flight: one bank UE per world UE required");
+  expects(bank.ue_count() > 0, "run_measurement_flight: no REMs to update");
+  expects(config.report_rate_hz > 0.0, "run_measurement_flight: report rate must be positive");
+
+  const std::span<const geo::Vec3> ues = world.ue_positions();
+  const std::vector<uav::FlightSample> samples = uav::fly(plan, 1.0 / config.report_rate_hz);
+  std::normal_distribution<double> fading(0.0, config.fading_sigma_db);
+
+  std::size_t reports = 0;
+  for (const uav::FlightSample& s : samples) {
+    const geo::Vec2 ground = world.area().clamp(s.position.xy());
+    for (std::size_t i = 0; i < bank.ue_count(); ++i) {
+      const double snr = world.snr_db(s.position, ues[i]) + fading(rng);
+      bank.add_measurement(i, ground, snr);
+    }
+    ++reports;
+  }
+  return reports;
+}
+
 }  // namespace skyran::sim

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "rem/bank.hpp"
 #include "rem/rem.hpp"
 #include "sim/world.hpp"
 #include "uav/flight.hpp"
@@ -31,5 +32,13 @@ std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& pl
                                    std::span<rem::Rem> rems,
                                    std::span<const geo::Vec3> ues,
                                    const MeasurementConfig& config, std::mt19937_64& rng);
+
+/// Bank-resident variant: deposits land in `bank`'s slabs (bank UE i is
+/// world UE i) and mark the touched cells dirty for the next
+/// RemBank::estimate_all. Draws from `rng` in exactly the same order as the
+/// per-REM overloads, so simulations stay trajectory-identical.
+std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& plan,
+                                   rem::RemBank& bank, const MeasurementConfig& config,
+                                   std::mt19937_64& rng);
 
 }  // namespace skyran::sim

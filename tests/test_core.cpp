@@ -53,7 +53,8 @@ TEST(SkyRanTest, EpochProducesCompleteReport) {
   EXPECT_TRUE(world.area().contains(r.position));
   EXPECT_GT(r.served_mean_throughput_bps, 0.0);
   EXPECT_EQ(skyran.epochs_run(), 1);
-  EXPECT_EQ(skyran.current_rems().size(), 4u);
+  EXPECT_EQ(skyran.rem_bank().ue_count(), 4u);
+  EXPECT_TRUE(skyran.rem_bank().estimates_current());
   EXPECT_LT(skyran.battery().remaining_fraction(), 1.0);
 }
 

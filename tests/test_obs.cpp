@@ -125,6 +125,9 @@ TEST_F(ObsTest, MacrosAreInertWhenDisabled) {
 }
 
 TEST_F(ObsTest, MacrosRecordWhenEnabled) {
+#ifdef SKYRAN_OBS_DISABLED
+  GTEST_SKIP() << "obs macros compiled out (-DSKYRAN_OBS_DISABLED)";
+#endif
   set_enabled(true);
   SKYRAN_COUNTER_ADD("test.macro.counter", 3);
   SKYRAN_COUNTER_ADD("test.macro.counter", 4);
@@ -137,6 +140,9 @@ TEST_F(ObsTest, MacrosRecordWhenEnabled) {
 }
 
 TEST_F(ObsTest, TraceSpanNestingDepthsAndEpochTag) {
+#ifdef SKYRAN_OBS_DISABLED
+  GTEST_SKIP() << "obs macros compiled out (-DSKYRAN_OBS_DISABLED)";
+#endif
   set_enabled(true);
   set_current_epoch(5);
   {
@@ -246,6 +252,9 @@ bool parse_flat_json(const std::string& line, JsonRecord& out) {
 }
 
 TEST_F(ObsTest, JsonExporterRoundTrip) {
+#ifdef SKYRAN_OBS_DISABLED
+  GTEST_SKIP() << "obs macros compiled out (-DSKYRAN_OBS_DISABLED)";
+#endif
   set_enabled(true);
   set_current_epoch(2);
   SKYRAN_COUNTER_ADD("test.json.counter", 42);
@@ -307,6 +316,9 @@ TEST_F(ObsTest, JsonEscaping) {
 }
 
 TEST_F(ObsTest, SummaryExporterMentionsEveryMetric) {
+#ifdef SKYRAN_OBS_DISABLED
+  GTEST_SKIP() << "obs macros compiled out (-DSKYRAN_OBS_DISABLED)";
+#endif
   set_enabled(true);
   SKYRAN_COUNTER_INC("test.summary.counter");
   SKYRAN_GAUGE_SET("test.summary.gauge", 9.0);
@@ -327,6 +339,9 @@ TEST_F(ObsTest, SummaryExporterMentionsEveryMetric) {
 // events.
 
 TEST_F(ObsTest, RecordingFromParallelForIsExactAndRaceFree) {
+#ifdef SKYRAN_OBS_DISABLED
+  GTEST_SKIP() << "obs macros compiled out (-DSKYRAN_OBS_DISABLED)";
+#endif
   set_enabled(true);
   constexpr std::size_t kN = 20000;
   const core::ScopedWorkers workers(8);
@@ -418,6 +433,7 @@ TEST_F(ObsTest, DisabledModeIsBitIdenticalToInstrumentedRun) {
 
   set_enabled(true);
   const core::EpochReport instrumented = run_one_epoch();
+#ifndef SKYRAN_OBS_DISABLED
   // The instrumented run actually recorded the pipeline's key signals...
   MetricsRegistry& reg = MetricsRegistry::instance();
   EXPECT_EQ(reg.counter("epoch.runs").value(), 1u);
@@ -425,9 +441,11 @@ TEST_F(ObsTest, DisabledModeIsBitIdenticalToInstrumentedRun) {
                 reg.counter("epoch.rem_cache.miss").value(),
             4u);
   EXPECT_GT(reg.counter("rem.planner.plans").value(), 0u);
+  EXPECT_GT(reg.counter("rem.bank.cells_reestimated").value(), 0u);
   EXPECT_GT(reg.histogram("rem.fill.measured_fraction").count(), 0u);
   EXPECT_GT(reg.histogram("span.epoch.run.us").count(), 0u);
   EXPECT_GT(TraceJournal::instance().size(), 0u);
+#endif
 
   // ...and still produced bit-identical outputs.
   expect_bit_identical(baseline, instrumented);

@@ -373,7 +373,8 @@ TEST(PlacementTest, WeightContractViolations) {
   EXPECT_THROW(mean_snr_map(maps, bad), ContractViolation);
   const std::vector<double> wrong_count{1.0, 2.0};
   EXPECT_THROW(mean_snr_map(maps, wrong_count), ContractViolation);
-  EXPECT_THROW(min_snr_map({}), ContractViolation);
+  EXPECT_THROW(min_snr_map(std::span<const geo::Grid2D<double>>{}), ContractViolation);
+  EXPECT_THROW(min_snr_map(std::span<const geo::FieldView<const double>>{}), ContractViolation);
 }
 
 TEST(AltitudeSearchTest, FindsLossMinimum) {

@@ -1,0 +1,589 @@
+// Equivalence suite for the RemBank shared-geometry REM engine: the
+// incremental (dirty-cell) estimate_all() must be bit-for-bit identical to
+// running the reference per-UE Rem::estimate on the same accumulated state,
+// serially and on the thread pool. Also covers geo::FieldView, the
+// geo::PointIndex spatial index against brute-force models of the legacy
+// linear scans, and the bank-resident planner/placement/store paths against
+// their per-REM equivalents. Run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "geo/contract.hpp"
+#include "geo/field_view.hpp"
+#include "geo/point_index.hpp"
+#include "mobility/deployment.hpp"
+#include "rem/bank.hpp"
+#include "rem/placement.hpp"
+#include "rem/planner.hpp"
+#include "rem/rem.hpp"
+#include "rem/store.hpp"
+#include "rf/channel.hpp"
+#include "sim/measurement.hpp"
+#include "sim/world.hpp"
+#include "uav/flight.hpp"
+
+namespace skyran {
+namespace {
+
+constexpr int kParallelWorkers = 8;
+
+template <typename F>
+auto serial_and_parallel(F&& fn) {
+  core::set_global_workers(1);
+  auto serial = fn();
+  core::set_global_workers(kParallelWorkers);
+  auto parallel = fn();
+  core::set_global_workers(0);
+  return std::pair{std::move(serial), std::move(parallel)};
+}
+
+geo::Rect area100() { return geo::Rect::square(100.0); }
+
+/// Count cells whose values differ bit-for-bit (== on doubles; both sides
+/// are produced without NaNs).
+template <typename A, typename B>
+std::size_t mismatches(const A& a, const B& b) {
+  EXPECT_EQ(a.size(), b.size());
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+    if (a[i] != b[i]) ++bad;
+  return bad;
+}
+
+// ---------------------------------------------------------------------------
+// FieldView
+
+TEST(FieldViewTest, MirrorsGridGeometryAndValues) {
+  geo::Grid2D<double> g(area100(), 4.0, 0.0);
+  g.for_each([&](geo::CellIndex c, double& v) { v = c.ix * 100.0 + c.iy; });
+  const geo::FieldView<const double> view = geo::view_of(std::as_const(g));
+  EXPECT_EQ(view.nx(), g.nx());
+  EXPECT_EQ(view.ny(), g.ny());
+  EXPECT_EQ(view.size(), g.size());
+  EXPECT_TRUE(view.same_geometry(g));
+  for (int iy = 0; iy < g.ny(); ++iy)
+    for (int ix = 0; ix < g.nx(); ++ix) {
+      EXPECT_EQ(view.at({ix, iy}), g.at({ix, iy}));
+      const geo::Vec2 cv = view.center_of({ix, iy});
+      const geo::Vec2 cg = g.center_of({ix, iy});
+      EXPECT_EQ(cv.x, cg.x);
+      EXPECT_EQ(cv.y, cg.y);
+    }
+  // cell_of agrees everywhere, including boundary clamping.
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  for (int i = 0; i < 500; ++i) {
+    const geo::Vec2 p{u(rng), u(rng)};
+    EXPECT_EQ(view.cell_of(p), g.cell_of(p));
+  }
+  EXPECT_EQ(view.cell_of({100.0, 100.0}), g.cell_of({100.0, 100.0}));
+}
+
+TEST(FieldViewTest, MutableViewWritesThrough) {
+  geo::Grid2D<double> g(area100(), 10.0, 1.0);
+  geo::FieldView<double> view = geo::view_of(g);
+  view.at({3, 2}) = 42.0;
+  EXPECT_EQ(g.at({3, 2}), 42.0);
+}
+
+TEST(FieldViewTest, ToGridRoundTrips) {
+  geo::Grid2D<double> g(area100(), 7.0, 0.0);
+  g.for_each([&](geo::CellIndex c, double& v) { v = std::sin(c.ix + 3.0 * c.iy); });
+  const geo::Grid2D<double> copy = geo::view_of(std::as_const(g)).to_grid();
+  EXPECT_TRUE(copy.same_geometry(g));
+  EXPECT_EQ(mismatches(copy.raw(), g.raw()), 0u);
+}
+
+TEST(FieldViewTest, OutOfBoundsRejected) {
+  geo::Grid2D<double> g(area100(), 10.0, 0.0);
+  const geo::FieldView<const double> view = geo::view_of(std::as_const(g));
+  EXPECT_THROW(view.at({-1, 0}), ContractViolation);
+  EXPECT_THROW(view.at({view.nx(), 0}), ContractViolation);
+  EXPECT_THROW(view.cell_of({-5.0, 50.0}), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// PointIndex vs brute force
+
+TEST(PointIndexTest, MatchesBruteForceFirstAndNearest) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-50.0, 150.0);
+  for (const double radius : {3.0, 10.0, 40.0}) {
+    geo::PointIndex index(radius);
+    std::vector<geo::Vec2> pts;
+    for (int n = 0; n < 300; ++n) {
+      const geo::Vec2 p{u(rng), u(rng)};
+      index.insert(p, pts.size());
+      pts.push_back(p);
+
+      const geo::Vec2 q{u(rng), u(rng)};
+      // Brute-force models of the legacy linear scans.
+      std::optional<std::size_t> first;
+      std::optional<std::size_t> nearest;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        const double d = pts[i].dist(q);
+        if (d > radius) continue;
+        if (!first) first = i;
+        if (d < best_d) {  // strict <: ties keep the earliest id
+          best_d = d;
+          nearest = i;
+        }
+      }
+      EXPECT_EQ(index.first_within(q, radius), first);
+      EXPECT_EQ(index.nearest_within(q, radius), nearest);
+    }
+  }
+}
+
+TEST(PointIndexTest, MoveRelocatesPoint) {
+  geo::PointIndex index(10.0);
+  index.insert({10.0, 10.0}, 0);
+  index.insert({50.0, 50.0}, 1);
+  ASSERT_TRUE(index.first_within({12.0, 10.0}, 5.0).has_value());
+  index.move(0, {10.0, 10.0}, {90.0, 90.0});
+  EXPECT_FALSE(index.first_within({12.0, 10.0}, 5.0).has_value());
+  const auto hit = index.nearest_within({89.0, 90.0}, 5.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0u);
+}
+
+TEST(PointIndexTest, TiesPreferLowestId) {
+  geo::PointIndex index(10.0);
+  index.insert({20.0, 20.0}, 3);
+  index.insert({20.0, 20.0}, 1);  // identical position, lower id inserted later
+  const auto hit = index.nearest_within({21.0, 20.0}, 5.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1u);
+  const auto first = index.first_within({21.0, 20.0}, 5.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RemBank vs per-UE Rem bit-identity
+
+struct DepositScript {
+  struct Deposit {
+    std::size_t ue;
+    geo::Vec2 at;
+    double snr_db;
+  };
+  std::vector<std::vector<Deposit>> rounds;
+};
+
+DepositScript make_script(std::size_t n_ue, int n_rounds, int per_round, geo::Rect area,
+                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> x(area.min.x, area.max.x);
+  std::uniform_real_distribution<double> y(area.min.y, area.max.y);
+  std::uniform_real_distribution<double> snr(-25.0, 35.0);
+  std::uniform_int_distribution<std::size_t> ue(0, n_ue - 1);
+  DepositScript script;
+  for (int r = 0; r < n_rounds; ++r) {
+    std::vector<DepositScript::Deposit> round;
+    // A tour-like cluster: deposits of one round stay near a random anchor,
+    // like samples along a flown path.
+    const geo::Vec2 anchor{x(rng), y(rng)};
+    std::normal_distribution<double> off(0.0, 18.0);
+    for (int i = 0; i < per_round; ++i)
+      round.push_back({ue(rng), area.clamp(anchor + geo::Vec2{off(rng), off(rng)}),
+                       snr(rng)});
+    script.rounds.push_back(std::move(round));
+  }
+  return script;
+}
+
+enum class Background { kNone, kModel, kPrior };
+
+/// Drive a RemBank and a vector of reference Rems through the same deposit
+/// script, comparing the bank's cached slab against Rem::estimate after
+/// every round. Returns the final estimates for serial/parallel comparison.
+std::vector<double> run_equivalence(Background bg, const rem::IdwParams& params,
+                                    std::uint64_t seed) {
+  const geo::Rect area = area100();
+  const double cell = 4.0;
+  const double altitude = 60.0;
+  const std::size_t n_ue = 3;
+  const std::vector<geo::Vec3> ue_pos{{20.0, 30.0, 1.5}, {70.0, 25.0, 1.5}, {55.0, 80.0, 1.5}};
+
+  const rf::FsplChannel fspl(2.6e9);
+  rem::Rem prior(area, cell, altitude, {45.0, 45.0, 1.5});
+  prior.add_measurement({40.0, 40.0}, 12.0);
+  prior.add_measurement({60.0, 50.0}, -3.0);
+
+  std::vector<rem::Rem> rems;
+  rem::RemBank bank(area, cell, altitude);
+  for (std::size_t i = 0; i < n_ue; ++i) {
+    rems.emplace_back(area, cell, altitude, ue_pos[i]);
+    bank.add_ue(ue_pos[i]);
+    if (bg == Background::kModel) {
+      rems[i].seed_from_model(fspl, rf::LinkBudget{});
+      bank.seed_from_model(i, fspl, rf::LinkBudget{});
+    } else if (bg == Background::kPrior) {
+      rems[i].seed_from(prior, params);
+      bank.seed_from(i, prior, params);
+    }
+  }
+
+  const DepositScript script = make_script(n_ue, 4, 40, area, seed);
+  std::vector<double> final_estimates;
+  for (const auto& round : script.rounds) {
+    for (const auto& d : round) {
+      rems[d.ue].add_measurement(d.at, d.snr_db);
+      bank.add_measurement(d.ue, d.at, d.snr_db);
+    }
+    bank.estimate_all(params);
+    EXPECT_TRUE(bank.estimates_current());
+    final_estimates.clear();
+    for (std::size_t i = 0; i < n_ue; ++i) {
+      const geo::Grid2D<double> ref = rems[i].estimate(params);
+      const geo::FieldView<const double> got = bank.estimate(i);
+      EXPECT_EQ(mismatches(ref.raw(), got), 0u)
+          << "UE " << i << " diverged from Rem::estimate";
+      for (std::size_t j = 0; j < got.size(); ++j) final_estimates.push_back(got[j]);
+    }
+  }
+  return final_estimates;
+}
+
+TEST(RemBankEquivalenceTest, NoBackgroundBitIdentical) {
+  const auto [serial, parallel] =
+      serial_and_parallel([] { return run_equivalence(Background::kNone, {}, 101); });
+  EXPECT_EQ(mismatches(serial, parallel), 0u);
+}
+
+TEST(RemBankEquivalenceTest, ModelBackgroundBitIdentical) {
+  const auto [serial, parallel] =
+      serial_and_parallel([] { return run_equivalence(Background::kModel, {}, 202); });
+  EXPECT_EQ(mismatches(serial, parallel), 0u);
+}
+
+TEST(RemBankEquivalenceTest, PriorBlendBitIdentical) {
+  rem::IdwParams params;
+  params.background_blend_m = 30.0;
+  const auto [serial, parallel] = serial_and_parallel(
+      [&] { return run_equivalence(Background::kPrior, params, 303); });
+  EXPECT_EQ(mismatches(serial, parallel), 0u);
+}
+
+TEST(RemBankEquivalenceTest, FiniteRadiusSmallKBitIdentical) {
+  rem::IdwParams params;
+  params.k_neighbors = 2;
+  params.max_radius_m = 60.0;
+  const auto [serial, parallel] = serial_and_parallel(
+      [&] { return run_equivalence(Background::kModel, params, 404); });
+  EXPECT_EQ(mismatches(serial, parallel), 0u);
+}
+
+TEST(RemBankTest, ParamsChangeRecomputesEveryCell) {
+  const geo::Rect area = area100();
+  rem::RemBank bank(area, 4.0, 60.0);
+  rem::Rem ref(area, 4.0, 60.0, {50.0, 50.0, 1.5});
+  bank.add_ue({50.0, 50.0, 1.5});
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  for (int i = 0; i < 30; ++i) {
+    const geo::Vec2 p{u(rng), u(rng)};
+    const double v = u(rng) - 50.0;
+    bank.add_measurement(0, p, v);
+    ref.add_measurement(p, v);
+  }
+  rem::IdwParams a;  // defaults
+  rem::IdwParams b;
+  b.k_neighbors = 3;
+  b.power = 1.5;
+  bank.estimate_all(a);
+  EXPECT_EQ(mismatches(ref.estimate(a).raw(), bank.estimate(0)), 0u);
+  bank.estimate_all(b);  // parameter change: full recompute, new reference
+  EXPECT_EQ(bank.last_estimate_stats().cells_reestimated,
+            bank.last_estimate_stats().cells_total);
+  EXPECT_EQ(mismatches(ref.estimate(b).raw(), bank.estimate(0)), 0u);
+}
+
+TEST(RemBankTest, IncrementalPassSkipsUnaffectedCells) {
+  // Round 1 covers the whole area (every cell has nearby samples, so
+  // influence radii are small); round 2 touches one corner. The second
+  // estimate_all must re-interpolate only a fraction of the map.
+  const geo::Rect area = geo::Rect::square(400.0);
+  rem::RemBank bank(area, 4.0, 60.0);
+  rem::Rem ref(area, 4.0, 60.0, {200.0, 200.0, 1.5});
+  bank.add_ue({200.0, 200.0, 1.5});
+  for (double xx = 10.0; xx < 400.0; xx += 25.0)
+    for (double yy = 10.0; yy < 400.0; yy += 25.0) {
+      bank.add_measurement(0, {xx, yy}, 0.01 * xx - 0.02 * yy);
+      ref.add_measurement({xx, yy}, 0.01 * xx - 0.02 * yy);
+    }
+  bank.estimate_all();
+  EXPECT_EQ(bank.last_estimate_stats().cells_reestimated,
+            bank.last_estimate_stats().cells_total);
+
+  bank.add_measurement(0, {30.0, 35.0}, 9.0);
+  ref.add_measurement({30.0, 35.0}, 9.0);
+  EXPECT_FALSE(bank.estimates_current());
+  bank.estimate_all();
+  const rem::RemBank::EstimateStats& s = bank.last_estimate_stats();
+  EXPECT_GT(s.cells_cached, 0u);
+  EXPECT_LT(s.dirty_fraction(), 0.5);
+  EXPECT_GT(s.cells_reestimated, 0u);
+  EXPECT_EQ(mismatches(ref.estimate().raw(), bank.estimate(0)), 0u);
+}
+
+TEST(RemBankTest, ExtractRemMatchesLegacyObject) {
+  const geo::Rect area = area100();
+  const rf::FsplChannel fspl(2.6e9);
+  rem::RemBank bank(area, 5.0, 50.0);
+  rem::Rem ref(area, 5.0, 50.0, {40.0, 60.0, 1.5});
+  bank.add_ue({40.0, 60.0, 1.5});
+  bank.seed_from_model(0, fspl, rf::LinkBudget{});
+  ref.seed_from_model(fspl, rf::LinkBudget{});
+  bank.add_measurement(0, {20.0, 20.0}, 5.0);
+  bank.add_measurement(0, {20.0, 20.0}, 7.0);
+  bank.add_measurement(0, {80.0, 30.0}, -2.0);
+  ref.add_measurement({20.0, 20.0}, 5.0);
+  ref.add_measurement({20.0, 20.0}, 7.0);
+  ref.add_measurement({80.0, 30.0}, -2.0);
+
+  const rem::Rem out = bank.extract_rem(0);
+  EXPECT_EQ(out.measured_cells(), ref.measured_cells());
+  EXPECT_EQ(out.background_source(), ref.background_source());
+  EXPECT_EQ(out.ue_position().x, ref.ue_position().x);
+  EXPECT_EQ(out.altitude_m(), ref.altitude_m());
+  EXPECT_EQ(mismatches(out.background().raw(), ref.background().raw()), 0u);
+  EXPECT_EQ(mismatches(out.estimate().raw(), ref.estimate().raw()), 0u);
+  const geo::CellIndex c = out.background().cell_of(geo::Vec2{20.0, 20.0});
+  EXPECT_EQ(out.measurement_count(c), 2);
+  EXPECT_EQ(*out.measured_snr(c), *ref.measured_snr(c));
+}
+
+TEST(RemBankTest, StaleEstimateAccessRejected) {
+  rem::RemBank bank(area100(), 10.0, 50.0);
+  bank.add_ue({50.0, 50.0, 1.5});
+  EXPECT_FALSE(bank.estimates_current());
+  EXPECT_THROW(bank.estimate(0), ContractViolation);
+  bank.estimate_all();
+  EXPECT_NO_THROW(bank.estimate(0));
+  bank.add_measurement(0, {10.0, 10.0}, 1.0);
+  EXPECT_FALSE(bank.estimates_current());
+  EXPECT_THROW(bank.estimate(0), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Consumers: store / planner / placement / measurement
+
+TEST(RemBankStoreTest, SeedBankUeMatchesMakeForUe) {
+  const geo::Rect area = area100();
+  const rf::FsplChannel fspl(2.6e9);
+  rem::RemStore store(10.0);
+  rem::Rem warm(area, 4.0, 60.0, {30.0, 30.0, 1.5});
+  warm.add_measurement({25.0, 30.0}, 4.0);
+  warm.add_measurement({70.0, 75.0}, -6.0);
+  store.put(warm);
+
+  // One UE hits the stored prior, one misses and falls back to the model.
+  for (const geo::Vec3 ue : {geo::Vec3{32.0, 30.0, 1.5}, geo::Vec3{80.0, 80.0, 1.5}}) {
+    const rem::Rem legacy =
+        store.make_for_ue(area, 4.0, 60.0, ue, fspl, rf::LinkBudget{});
+    rem::RemBank bank(area, 4.0, 60.0);
+    const std::size_t idx = bank.add_ue(ue);
+    store.seed_bank_ue(bank, idx, fspl, rf::LinkBudget{});
+    EXPECT_EQ(bank.background_source(idx), legacy.background_source());
+    EXPECT_EQ(mismatches(legacy.background().raw(), bank.background(idx)), 0u);
+  }
+}
+
+TEST(RemBankStoreTest, PutFromBankMatchesLegacyPut) {
+  const geo::Rect area = area100();
+  rem::RemBank bank(area, 4.0, 60.0);
+  bank.add_ue({40.0, 40.0, 1.5});
+  bank.add_measurement(0, {35.0, 42.0}, 3.0);
+  bank.add_measurement(0, {55.0, 60.0}, 8.0);
+
+  rem::RemStore via_bank(10.0);
+  via_bank.put_from_bank(bank, 0);
+  rem::RemStore via_rem(10.0);
+  via_rem.put(bank.extract_rem(0));
+
+  ASSERT_EQ(via_bank.size(), 1u);
+  ASSERT_EQ(via_rem.size(), 1u);
+  const rem::Rem* a = via_bank.find_near({40.0, 40.0});
+  const rem::Rem* b = via_rem.find_near({40.0, 40.0});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->measured_cells(), b->measured_cells());
+  EXPECT_EQ(mismatches(a->estimate().raw(), b->estimate().raw()), 0u);
+}
+
+TEST(RemStoreIndexTest, PutAndFindMatchLegacyScanSemantics) {
+  // Reference model replicating the historical linear scans: put replaces
+  // the FIRST entry in insertion order within R; find_near returns the
+  // nearest with strict-< improvement (earliest entry wins ties).
+  const double R = 10.0;
+  std::vector<geo::Vec2> model;
+  const auto model_put = [&](geo::Vec2 p) {
+    for (auto& q : model)
+      if (q.dist(p) <= R) {
+        q = p;
+        return;
+      }
+    model.push_back(p);
+  };
+  const auto model_find = [&](geo::Vec2 q) -> std::optional<std::size_t> {
+    std::optional<std::size_t> best;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      const double d = model[i].dist(q);
+      if (d <= R && d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  rem::RemStore store(R);
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> u(5.0, 95.0);
+  for (int i = 0; i < 200; ++i) {
+    const geo::Vec2 p{u(rng), u(rng)};
+    rem::Rem r(area100(), 10.0, 50.0, {p, 1.5});
+    r.add_measurement(p, static_cast<double>(i));  // tag the entry
+    store.put(std::move(r));
+    model_put(p);
+
+    ASSERT_EQ(store.size(), model.size());
+    const geo::Vec2 q{u(rng), u(rng)};
+    const rem::Rem* hit = store.find_near(q);
+    const std::optional<std::size_t> want = model_find(q);
+    ASSERT_EQ(hit != nullptr, want.has_value());
+    if (hit != nullptr) {
+      EXPECT_EQ(hit->ue_position().xy().x, model[*want].x);
+      EXPECT_EQ(hit->ue_position().xy().y, model[*want].y);
+    }
+  }
+}
+
+TEST(RemBankPlannerTest, BankPlanMatchesLegacyPlan) {
+  const geo::Rect area = area100();
+  const rf::FsplChannel fspl(2.6e9);
+  const std::size_t n_ue = 3;
+  const std::vector<geo::Vec3> ue_pos{{20.0, 30.0, 1.5}, {70.0, 25.0, 1.5}, {55.0, 80.0, 1.5}};
+
+  std::vector<rem::Rem> rems;
+  rem::RemBank bank(area, 4.0, 60.0);
+  for (std::size_t i = 0; i < n_ue; ++i) {
+    rems.emplace_back(area, 4.0, 60.0, ue_pos[i]);
+    bank.add_ue(ue_pos[i]);
+    rems[i].seed_from_model(fspl, rf::LinkBudget{});
+    bank.seed_from_model(i, fspl, rf::LinkBudget{});
+  }
+  const DepositScript script = make_script(n_ue, 2, 30, area, 77);
+  for (const auto& round : script.rounds)
+    for (const auto& d : round) {
+      rems[d.ue].add_measurement(d.at, d.snr_db);
+      bank.add_measurement(d.ue, d.at, d.snr_db);
+    }
+
+  rem::PlannerConfig config;
+  config.budget_m = 600.0;
+  config.seed = 99;
+  const std::vector<rem::TrajectoryHistory> histories(n_ue);
+  const rem::PlannedTrajectory legacy =
+      rem::plan_measurement_trajectory(rems, histories, {50.0, 50.0}, config);
+  bank.estimate_all(config.idw);
+  const rem::PlannedTrajectory banked =
+      rem::plan_measurement_trajectory(bank, histories, {50.0, 50.0}, config);
+
+  EXPECT_EQ(banked.k, legacy.k);
+  EXPECT_EQ(banked.cost_m, legacy.cost_m);
+  EXPECT_EQ(banked.info_gain, legacy.info_gain);
+  ASSERT_EQ(banked.path.points().size(), legacy.path.points().size());
+  for (std::size_t i = 0; i < banked.path.points().size(); ++i) {
+    EXPECT_EQ(banked.path.points()[i].x, legacy.path.points()[i].x);
+    EXPECT_EQ(banked.path.points()[i].y, legacy.path.points()[i].y);
+  }
+}
+
+TEST(RemBankPlacementTest, ViewOverloadsMatchGridOverloads) {
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> u(-30.0, 30.0);
+  std::vector<geo::Grid2D<double>> maps;
+  for (int m = 0; m < 3; ++m) {
+    geo::Grid2D<double> g(area100(), 4.0, 0.0);
+    for (double& v : g.raw()) v = u(rng);
+    maps.push_back(std::move(g));
+  }
+  std::vector<geo::FieldView<const double>> views;
+  for (const auto& m : maps) views.push_back(geo::view_of(m));
+
+  const auto [serial, parallel] = serial_and_parallel([&] {
+    std::vector<double> out;
+    const geo::Grid2D<double> min_g = rem::min_snr_map(maps);
+    const geo::Grid2D<double> min_v = rem::min_snr_map(views);
+    EXPECT_EQ(mismatches(min_g.raw(), min_v.raw()), 0u);
+    const geo::Grid2D<double> mean_g = rem::mean_snr_map(maps);
+    const geo::Grid2D<double> mean_v = rem::mean_snr_map(views);
+    EXPECT_EQ(mismatches(mean_g.raw(), mean_v.raw()), 0u);
+    const geo::Grid2D<double> cov_g = rem::coverage_map(maps);
+    const geo::Grid2D<double> cov_v = rem::coverage_map(views);
+    EXPECT_EQ(mismatches(cov_g.raw(), cov_v.raw()), 0u);
+    const rem::Placement pg = rem::choose_placement(maps);
+    const rem::Placement pv = rem::choose_placement(views);
+    EXPECT_EQ(pg.position.x, pv.position.x);
+    EXPECT_EQ(pg.position.y, pv.position.y);
+    EXPECT_EQ(pg.objective_snr_db, pv.objective_snr_db);
+    out.insert(out.end(), min_v.raw().begin(), min_v.raw().end());
+    out.push_back(pv.objective_snr_db);
+    return out;
+  });
+  EXPECT_EQ(mismatches(serial, parallel), 0u);
+}
+
+TEST(RemBankMeasurementTest, FlightDepositsMatchPerRemOverload) {
+  sim::WorldConfig wc;
+  wc.terrain_kind = terrain::TerrainKind::kCampus;
+  wc.seed = 41;
+  sim::World world(wc);
+  world.ue_positions() = mobility::deploy_mixed_visibility(world.terrain(), 4, 42);
+
+  const double altitude = 60.0;
+  geo::Path path;
+  const geo::Rect area = world.area();
+  path.push_back(area.clamp(area.center() + geo::Vec2{-120.0, -80.0}));
+  path.push_back(area.clamp(area.center() + geo::Vec2{100.0, -40.0}));
+  path.push_back(area.clamp(area.center() + geo::Vec2{60.0, 110.0}));
+  const uav::FlightPlan flight = uav::FlightPlan::at_altitude(path, altitude, 10.0);
+
+  std::vector<rem::Rem> rems;
+  rem::RemBank bank(area, 4.0, altitude);
+  for (const geo::Vec3& ue : world.ue_positions()) {
+    rems.emplace_back(area, 4.0, altitude, ue);
+    bank.add_ue(ue);
+  }
+
+  const sim::MeasurementConfig mc;
+  std::mt19937_64 rng_a(5);
+  std::mt19937_64 rng_b(5);
+  const std::size_t reports_legacy =
+      sim::run_measurement_flight(world, flight, rems, mc, rng_a);
+  const std::size_t reports_bank = sim::run_measurement_flight(world, flight, bank, mc, rng_b);
+  EXPECT_EQ(reports_bank, reports_legacy);
+  EXPECT_EQ(rng_a(), rng_b());  // identical draw counts
+
+  bank.estimate_all();
+  for (std::size_t i = 0; i < rems.size(); ++i) {
+    EXPECT_EQ(bank.measured_cells(i), rems[i].measured_cells());
+    EXPECT_EQ(mismatches(rems[i].estimate().raw(), bank.estimate(i)), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace skyran
