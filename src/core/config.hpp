@@ -9,7 +9,9 @@
 #include "rem/placement.hpp"
 #include "rem/planner.hpp"
 #include "rem/rem.hpp"
+#include "sim/faults.hpp"
 #include "sim/measurement.hpp"
+#include "uav/battery.hpp"
 
 namespace skyran::core {
 
@@ -57,6 +59,15 @@ struct SkyRanConfig {
   /// remainder is reserved for serving and returning home (Sec 2.5: "the
   /// shorter the measurement flight, the longer the LTE endurance").
   double battery_reserve_fraction = 0.3;
+
+  /// Energy model of the airframe's battery (capacity, hover/forward draw).
+  uav::BatteryParams battery{};
+
+  /// Scripted fault schedule applied to every epoch (times are epoch
+  /// flight-time seconds, t = 0 at the localization flight's start). An
+  /// empty plan — the default — is a strict no-op: the zero-fault pipeline
+  /// is bit-identical to one built without fault injection.
+  sim::FaultPlan faults{};
 
   /// Worker threads for the per-epoch hot paths (SRS correlation, REM
   /// interpolation, k-means, placement scoring). 0 = auto: the

@@ -17,7 +17,8 @@ SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
       fspl_(world.channel().frequency_hz()),
       store_(config.reuse_radius_m),
       history_index_(std::max(config.reuse_radius_m, 1e-9)),
-      position_(world.area().center()) {
+      position_(world.area().center()),
+      battery_(config.battery) {
   expects(config.epoch_drop_threshold > 0.0 && config.epoch_drop_threshold < 1.0,
           "SkyRan: epoch trigger threshold must be in (0,1)");
   expects(config.rem_cell_m > 0.0, "SkyRan: REM cell size must be positive");
@@ -60,14 +61,29 @@ std::vector<geo::Vec2> SkyRan::localize_ues(EpochReport& report) {
       localization::UeLocalizer localizer(world_.channel(), world_.budget(),
                                           config_.localizer);
       const localization::LocalizationRun run =
-          localizer.localize(world_.area().inflated(-6.0).clamp(position_), truth, rng_());
+          localizer.localize(world_.area().inflated(-6.0).clamp(position_), truth, rng_(),
+                             faults_.active() ? &faults_ : nullptr);
       report.localization_flight_m = run.flight_length_m;
       for (std::size_t i = 0; i < truth.size(); ++i) {
-        // A UE whose SRS could not be decoded falls back to the last known
-        // position family: its true position would be unknown; we use the
-        // area's center as a conservative guess.
-        estimates.push_back(run.estimates[i].valid ? run.estimates[i].position
-                                                   : world_.area().center());
+        if (run.estimates[i].valid) {
+          estimates.push_back(run.estimates[i].position);
+          continue;
+        }
+        // A UE whose SRS could not be decoded (loss/sag/outage or too few
+        // decodable symbols) falls back to the last known position family.
+        // Under an active fault plan that is the previous epoch's estimate
+        // when one exists — which keeps the REM store's positional reuse
+        // working through an outage — else (and always on the zero-fault
+        // path, which must stay bit-identical to the legacy pipeline) the
+        // area center as a conservative guess.
+        epoch_degraded_ = true;
+        if (faults_.active() && i < last_estimates_.size()) {
+          SKYRAN_COUNTER_INC("fault.loc.fallback_reuse");
+          estimates.push_back(last_estimates_[i]);
+        } else {
+          SKYRAN_COUNTER_INC("fault.loc.fallback_center");
+          estimates.push_back(world_.area().center());
+        }
       }
       break;
     }
@@ -116,6 +132,15 @@ double SkyRan::ensure_altitude(const std::vector<geo::Vec2>& ue_estimates,
   return altitude_;
 }
 
+void SkyRan::apply_battery_sag(double t) {
+  const double target = faults_.battery_sag_fraction(t);
+  if (target <= battery_sag_applied_) return;
+  battery_.deplete_wh((target - battery_sag_applied_) * battery_.capacity_wh());
+  battery_sag_applied_ = target;
+  epoch_degraded_ = true;
+  SKYRAN_COUNTER_INC("fault.battery.sag_events");
+}
+
 EpochReport SkyRan::run_epoch() {
   expects(!world_.ue_positions().empty(), "SkyRan::run_epoch: no UEs in the world");
   const ScopedWorkers workers(config_.threads);  // no-op when threads == 0 (auto)
@@ -124,6 +149,13 @@ EpochReport SkyRan::run_epoch() {
   obs::set_current_epoch(report.epoch);
   SKYRAN_TRACE_SPAN("epoch.run");
   SKYRAN_COUNTER_INC("epoch.runs");
+
+  // Fresh fault state: the same plan replays deterministically per epoch.
+  faults_ = sim::FaultInjector(config_.faults, static_cast<std::uint64_t>(epoch_));
+  battery_sag_applied_ = 0.0;
+  epoch_degraded_ = false;
+  sim::FaultInjector* const faults = faults_.active() ? &faults_ : nullptr;
+  apply_battery_sag(0.0);
 
   // Steps 1-4: localize the UEs.
   {
@@ -137,6 +169,18 @@ EpochReport SkyRan::run_epoch() {
     return ensure_altitude(report.estimated_ue_positions, report);
   }();
   report.altitude_m = altitude;
+
+  // The localization and altitude-search flights have been flown by this
+  // point, so their energy leaves the battery now — before the measurement
+  // loop's reserve check reads the remaining charge. (Draining them after
+  // the loop let the check see a charge excluding this epoch's own flights,
+  // and the altitude descent was never drained at all.)
+  battery_.drain((report.localization_flight_m + report.altitude_flight_m) / config_.cruise_mps,
+                 config_.cruise_mps);
+  // Epoch flight-time cursor: where measurement tours land on the fault
+  // plan's time axis.
+  double epoch_time_s =
+      (report.localization_flight_m + report.altitude_flight_m) / config_.cruise_mps;
 
   // REM setup with positional reuse (Sec 3.5): one shared-geometry bank for
   // the whole epoch instead of independent per-UE grids.
@@ -170,8 +214,14 @@ EpochReport SkyRan::run_epoch() {
   std::vector<geo::Path> flown;
   bool first_round = true;
   while (first_round || remaining > std::max(60.0, 0.1 * budget)) {
+    apply_battery_sag(epoch_time_s);
     if (battery_.remaining_fraction() <= config_.battery_reserve_fraction) {
       SKYRAN_COUNTER_INC("epoch.measurement.battery_stops");
+      if (budget > 0.0 && remaining > std::max(60.0, 0.1 * budget)) {
+        // Budget left unspent: the epoch serves from whatever REM content
+        // the rounds so far deposited (possibly background only).
+        epoch_degraded_ = true;
+      }
       break;
     }
     SKYRAN_TRACE_SPAN("epoch.measure_round");
@@ -189,16 +239,33 @@ EpochReport SkyRan::run_epoch() {
     }
     SKYRAN_COUNTER_INC("epoch.measurement.rounds");
 
-    const uav::FlightPlan flight =
+    uav::FlightPlan flight =
         uav::FlightPlan::at_altitude(plan.path, altitude, config_.cruise_mps);
-    sim::run_measurement_flight(world_, flight, *bank_, config_.measurement, rng_);
+    // Mid-flight abort (degraded path): a tour the remaining charge cannot
+    // finish is flown only to where the energy runs out. Whatever the
+    // partial tour deposited stays in the bank — a short tour's REM beats
+    // an unflown one.
+    const double max_flight_s =
+        battery_.remaining_wh() * 3600.0 / battery_.power_w(config_.cruise_mps);
+    const bool aborted = flight.duration_s() > max_flight_s;
+    if (aborted) {
+      flight = uav::truncated(flight, max_flight_s * config_.cruise_mps);
+      epoch_degraded_ = true;
+      SKYRAN_COUNTER_INC("fault.battery.mid_flight_aborts");
+    }
+    sim::run_measurement_flight(world_, flight, *bank_, config_.measurement, rng_, faults,
+                                epoch_time_s);
     battery_.drain(flight.duration_s(), config_.cruise_mps);
+    epoch_time_s += flight.duration_s();
+    ++report.measurement_rounds;
 
-    report.measurement_flight_m += plan.cost_m;
-    remaining -= plan.cost_m;
-    tour_start = plan.path.points().back();
-    for (rem::TrajectoryHistory& h : histories) h.push_back(plan.path);
-    flown.push_back(plan.path);
+    const geo::Path track = aborted ? flight.ground_track() : plan.path;
+    report.measurement_flight_m += aborted ? flight.length_m() : plan.cost_m;
+    remaining -= aborted ? flight.length_m() : plan.cost_m;
+    tour_start = track.points().back();
+    for (rem::TrajectoryHistory& h : histories) h.push_back(track);
+    flown.push_back(track);
+    if (aborted) break;       // out of energy: no further rounds this epoch
     if (budget <= 0.0) break;  // unconstrained mode: single best tour
     first_round = false;
   }
@@ -227,11 +294,14 @@ EpochReport SkyRan::run_epoch() {
                           report.measurement_flight_m + reposition_m;
   report.flight_time_s = report.total_flight_m / config_.cruise_mps;
   total_flight_m_ += report.total_flight_m;
-  battery_.drain((report.localization_flight_m + reposition_m) / config_.cruise_mps,
-                 config_.cruise_mps);
+  // Localization and altitude flights were drained before the measurement
+  // loop; only the reposition hop remains.
+  battery_.drain(reposition_m / config_.cruise_mps, config_.cruise_mps);
 
   throughput_at_placement_bps_ = current_mean_throughput_bps();
   report.served_mean_throughput_bps = throughput_at_placement_bps_;
+  report.degraded = report.degraded || epoch_degraded_;
+  last_estimates_ = report.estimated_ue_positions;
 
   SKYRAN_HISTOGRAM_OBSERVE("epoch.total_flight_m", report.total_flight_m);
   SKYRAN_HISTOGRAM_OBSERVE("epoch.measurement_flight_m", report.measurement_flight_m);
@@ -239,6 +309,7 @@ EpochReport SkyRan::run_epoch() {
   SKYRAN_HISTOGRAM_OBSERVE("epoch.planned_k", report.planned_k);
   SKYRAN_GAUGE_SET("epoch.battery_fraction", battery_.remaining_fraction());
   SKYRAN_GAUGE_SET("epoch.altitude_m", report.altitude_m);
+  SKYRAN_GAUGE_SET("epoch.degraded", report.degraded ? 1.0 : 0.0);
   return report;
 }
 

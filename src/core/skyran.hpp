@@ -14,6 +14,7 @@
 #include "geo/point_index.hpp"
 #include "rem/bank.hpp"
 #include "rem/store.hpp"
+#include "sim/faults.hpp"
 #include "sim/world.hpp"
 #include "uav/battery.hpp"
 
@@ -35,6 +36,12 @@ struct EpochReport {
   double served_mean_throughput_bps = 0.0;  ///< true mean throughput at placement
   int planned_k = 0;
   double info_to_cost = 0.0;
+  int measurement_rounds = 0;            ///< tours actually flown this epoch
+  /// True when the epoch took a degraded path: a UE could not be localized
+  /// (position fell back to the previous epoch's estimate or the area
+  /// center), a tour was aborted mid-flight on battery, or the measurement
+  /// loop stopped on the battery reserve before the budget was spent.
+  bool degraded = false;
 };
 
 class SkyRan {
@@ -73,6 +80,9 @@ class SkyRan {
  private:
   std::vector<geo::Vec2> localize_ues(EpochReport& report);
   double ensure_altitude(const std::vector<geo::Vec2>& ue_estimates, EpochReport& report);
+  /// Apply any battery-sag fault windows opened by epoch flight time `t`
+  /// (each window fires once per epoch).
+  void apply_battery_sag(double t);
 
   sim::World& world_;
   SkyRanConfig config_;
@@ -102,6 +112,17 @@ class SkyRan {
   double total_flight_m_ = 0.0;
   double throughput_at_placement_bps_ = 0.0;
   uav::Battery battery_;
+
+  /// Fault injection state, rebuilt at the top of every epoch from
+  /// config_.faults (deterministic per epoch number).
+  sim::FaultInjector faults_;
+  /// Capacity fraction already sagged this epoch (battery windows fire once).
+  double battery_sag_applied_ = 0.0;
+  /// Set by the degraded paths while an epoch runs; copied into the report.
+  bool epoch_degraded_ = false;
+  /// Last epoch's final position estimates: the fallback for a UE whose
+  /// localization fails this epoch (positional REM reuse then still works).
+  std::vector<geo::Vec2> last_estimates_;
 };
 
 }  // namespace skyran::core

@@ -13,7 +13,7 @@ UeLocalizer::UeLocalizer(const rf::RayTraceChannel& channel, rf::LinkBudget budg
 }
 
 LocalizationRun UeLocalizer::localize(geo::Vec2 start, std::vector<geo::Vec3> true_ue_positions,
-                                      std::uint64_t seed) const {
+                                      std::uint64_t seed, RangingFaultModel* faults) const {
   const geo::Rect area = channel_.terrain().area();
   expects(area.contains(start), "UeLocalizer::localize: start must be inside the area");
   SKYRAN_TRACE_SPAN("loc.localize");
@@ -45,19 +45,31 @@ LocalizationRun UeLocalizer::localize(geo::Vec2 start, std::vector<geo::Vec3> tr
     if (config_.gps_outage_probability > 0.0)
       gps.set_outage_model(config_.gps_outage_probability, config_.gps_outage_mean_samples);
     per_ue_tuples.push_back(collect_gps_tof(samples, true_ue_positions[i], channel_, los,
-                                            budget_, gps, config_.ranging, rng));
+                                            budget_, gps, config_.ranging, rng, faults));
     ue_altitudes.push_back(true_ue_positions[i].z);
   }
 
   JointOptions joint;
   joint.per_ue = config_.solver;
   joint.per_ue.seed = seed ^ 0x51ab5ULL;
-  const JointMultilaterationResult fit =
-      multilaterate_joint(per_ue_tuples, area, ue_altitudes, joint);
+  // Degraded path: when no UE kept enough tuples (total SRS loss, a GPS
+  // outage covering the flight, the quality gate rejecting everything), the
+  // joint solver has nothing to share an offset over. Skip it and report
+  // every UE as not localized rather than tripping its contract.
+  std::size_t usable_ues = 0;
+  for (const GpsTofSeries& t : per_ue_tuples)
+    if (t.size() >= 4) ++usable_ues;
+  JointMultilaterationResult fit;
+  fit.per_ue.resize(true_ue_positions.size());
+  if (usable_ues > 0) {
+    fit = multilaterate_joint(per_ue_tuples, area, ue_altitudes, joint);
+  } else {
+    SKYRAN_COUNTER_INC("fault.loc.no_usable_ue");
+  }
 
   for (std::size_t i = 0; i < true_ue_positions.size(); ++i) {
     UeLocationEstimate est;
-    if (per_ue_tuples[i].size() >= 4) {
+    if (usable_ues > 0 && per_ue_tuples[i].size() >= 4) {
       est.position = fit.per_ue[i].position;
       est.offset_m = fit.per_ue[i].offset_m;
       est.rms_residual_m = fit.per_ue[i].rms_residual_m;

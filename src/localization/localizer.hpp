@@ -51,9 +51,11 @@ class UeLocalizer {
               LocalizerConfig config);
 
   /// Localize every UE in `true_ue_positions` with one random flight
-  /// starting at `start`. Deterministic in `seed`.
+  /// starting at `start`. Deterministic in `seed`. `faults`, when non-null,
+  /// injects scripted ranging degradation (SRS loss / SNR sag / GPS outage);
+  /// affected UEs come back with valid = false instead of failing the run.
   LocalizationRun localize(geo::Vec2 start, std::vector<geo::Vec3> true_ue_positions,
-                           std::uint64_t seed) const;
+                           std::uint64_t seed, RangingFaultModel* faults = nullptr) const;
 
   const LocalizerConfig& config() const { return config_; }
 

@@ -12,13 +12,15 @@ namespace skyran::localization {
 GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::Vec3 ue_position,
                              const rf::ChannelModel& channel, const LosOracle& los,
                              const rf::LinkBudget& budget, uav::GpsSensor& gps,
-                             const RangingConfig& config, std::mt19937_64& rng) {
+                             const RangingConfig& config, std::mt19937_64& rng,
+                             RangingFaultModel* faults) {
   expects(flight.size() >= 2, "collect_gps_tof: need at least two flight samples");
   expects(config.srs_rate_hz >= config.gps_rate_hz,
           "collect_gps_tof: SRS must report at least as fast as GPS");
 
   const lte::SrsSymbol tx = lte::make_srs_symbol(config.srs);
-  const lte::TofEstimator estimator(config.srs, config.k_factor);
+  const lte::TofEstimator estimator(config.srs, config.k_factor, 0.0, 0.6, true,
+                                    config.min_peak_to_side_db);
   const int srs_per_gps =
       std::max(1, static_cast<int>(std::round(config.srs_rate_hz / config.gps_rate_hz)));
 
@@ -40,6 +42,9 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
   SKYRAN_TRACE_SPAN("loc.collect_gps_tof");
   std::uint64_t dropped_low_snr = 0;
   std::uint64_t gps_outages = 0;
+  std::uint64_t fault_symbols_lost = 0;
+  std::uint64_t fault_gps_outages = 0;
+  std::uint64_t gated_low_quality = 0;
   GpsTofSeries out;
   out.reserve(flight.size());
   std::vector<lte::SrsSymbol> received;
@@ -56,9 +61,15 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
         const double frac = static_cast<double>(m) / srs_per_gps;
         const geo::Vec3 uav_true = a.position + (b.position - a.position) * frac;
         const double true_range = uav_true.dist(ue_position);
+        const double symbol_time_s = a.time_s + frac * (b.time_s - a.time_s);
 
+        if (faults != nullptr && faults->srs_symbol_lost(symbol_time_s)) {
+          ++fault_symbols_lost;
+          continue;
+        }
         const double path_loss = channel.path_loss_db(uav_true, ue_position);
-        const double snr_db = budget.snr_db(path_loss);
+        double snr_db = budget.snr_db(path_loss);
+        if (faults != nullptr) snr_db -= faults->srs_snr_sag_db(symbol_time_s);
         if (snr_db < config.min_snr_db) {  // decoder lost the symbol
           ++dropped_low_snr;
           continue;
@@ -82,6 +93,10 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
     std::vector<double> distance_sums(last - base, 0.0);
     std::vector<int> tof_counts(last - base, 0);
     for (std::size_t s = 0; s < estimates.size(); ++s) {
+      if (!estimates[s].quality_ok) {  // gate: flat/noisy correlation peak
+        ++gated_low_quality;
+        continue;
+      }
       distance_sums[received_interval[s]] += estimates[s].distance_m;
       ++tof_counts[received_interval[s]];
     }
@@ -89,6 +104,12 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
     for (std::size_t i = base; i < last; ++i) {
       if (tof_counts[i - base] == 0) continue;
       const uav::FlightSample& a = flight[i];
+      if (faults != nullptr && faults->gps_forced_outage(a.time_s) && !gps.in_outage()) {
+        // Scripted outage window: drive the sensor's own outage machinery so
+        // the fix below follows the exact last-valid-position semantics.
+        gps.force_outage_for(1);
+        ++fault_gps_outages;
+      }
       const uav::GpsFix fix = gps.sample(a.position, a.time_s);
       if (!fix.valid) {  // outage: a ToF without a position is useless
         ++gps_outages;
@@ -99,6 +120,9 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
   }
   SKYRAN_COUNTER_ADD("loc.srs.dropped_low_snr", dropped_low_snr);
   SKYRAN_COUNTER_ADD("loc.gps.outages", gps_outages);
+  SKYRAN_COUNTER_ADD("loc.tof.gated_low_quality", gated_low_quality);
+  SKYRAN_COUNTER_ADD("fault.srs.symbols_lost", fault_symbols_lost);
+  SKYRAN_COUNTER_ADD("fault.gps.forced_outages", fault_gps_outages);
   SKYRAN_COUNTER_ADD("loc.tuples.collected", out.size());
   SKYRAN_HISTOGRAM_OBSERVE("loc.tuples.per_flight", out.size());
   return out;

@@ -31,6 +31,11 @@ struct RangingConfig {
   /// sequence's processing gain (~25 dB for 288 REs), so ranging works well
   /// below the data-decode threshold.
   double min_snr_db = -10.0;
+  /// Correlation quality gate: per-symbol ToF estimates whose
+  /// peak-to-sidelobe ratio falls below this many dB are dropped before the
+  /// per-interval average (they carry no delay information, only bias). 0
+  /// disables the gate, which keeps the legacy zero-fault path bit-identical.
+  double min_peak_to_side_db = 0.0;
   /// NLOS echo profile parameters (echoes below the direct path; they widen
   /// the ToF spread to the ~25 ns the paper reports without biasing the
   /// median, matching Fig. 17's environment-independent ranging accuracy).
@@ -46,6 +51,23 @@ class LosOracle {
  public:
   virtual ~LosOracle() = default;
   virtual bool line_of_sight(geo::Vec3 uav, geo::Vec3 ue) const = 0;
+};
+
+/// Scripted degradation applied to the ranging pipeline (fault injection).
+/// Implemented by sim::FaultInjector; defined here (like LosOracle) so the
+/// localization layer stays independent of the simulation layer. Times are
+/// seconds of epoch flight time (the localization flight starts at t = 0).
+class RangingFaultModel {
+ public:
+  virtual ~RangingFaultModel() = default;
+  /// The SRS symbol transmitted at time `t` never reaches the correlator
+  /// (deep fade / interference burst). May draw from the injector's RNG, so
+  /// callers must query symbols in flight order.
+  virtual bool srs_symbol_lost(double t) = 0;
+  /// dB subtracted from the received SRS SNR at time `t`.
+  virtual double srs_snr_sag_db(double t) const = 0;
+  /// True while a scripted GPS outage window covers time `t`.
+  virtual bool gps_forced_outage(double t) const = 0;
 };
 
 /// LosOracle over a ray-traced channel.
@@ -64,10 +86,13 @@ class ChannelLosOracle final : public LosOracle {
 ///
 /// `flight` must be sampled at the GPS rate (uav::fly with dt = 1/gps_rate).
 /// `channel` provides true path losses (for SRS SNR); `los` drives the
-/// multipath profile; `gps` adds receiver position noise.
+/// multipath profile; `gps` adds receiver position noise. `faults`, when
+/// non-null, injects scripted SRS loss / SNR sag / GPS outage windows; the
+/// pipeline degrades by dropping the affected tuples (never by aborting).
 GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::Vec3 ue_position,
                              const rf::ChannelModel& channel, const LosOracle& los,
                              const rf::LinkBudget& budget, uav::GpsSensor& gps,
-                             const RangingConfig& config, std::mt19937_64& rng);
+                             const RangingConfig& config, std::mt19937_64& rng,
+                             RangingFaultModel* faults = nullptr);
 
 }  // namespace skyran::localization

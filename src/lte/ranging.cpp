@@ -11,15 +11,18 @@
 namespace skyran::lte {
 
 TofEstimator::TofEstimator(SrsConfig config, int k_factor, double max_delay_samples,
-                           double leading_edge_fraction, bool refine_peak)
+                           double leading_edge_fraction, bool refine_peak,
+                           double min_peak_to_side_db)
     : config_(config),
       reference_(make_srs_symbol(config)),
       k_factor_(k_factor),
       leading_edge_fraction_(leading_edge_fraction),
-      refine_peak_(refine_peak) {
+      refine_peak_(refine_peak),
+      min_peak_to_side_db_(min_peak_to_side_db) {
   expects(k_factor >= 1, "TofEstimator: K must be >= 1");
   expects(leading_edge_fraction >= 0.0 && leading_edge_fraction <= 1.0,
           "TofEstimator: leading-edge fraction must be in [0,1]");
+  expects(min_peak_to_side_db >= 0.0, "TofEstimator: quality gate must be >= 0 dB");
   const double alias_period =
       static_cast<double>(config.carrier.fft_size) / config.comb;
   if (max_delay_samples <= 0.0) max_delay_samples = alias_period / 2.0;
@@ -40,7 +43,15 @@ TofEstimate TofEstimator::estimate(const SrsSymbol& received) const {
   // (paper eq. 3 with a window; the comb aliases the response beyond it).
   const auto window =
       static_cast<std::size_t>(max_delay_samples_ * k_factor_);
-  expects(window >= 1 && window <= up.size(), "TofEstimator: empty search window");
+  if (window < 1 || window > up.size()) {
+    // Degenerate search window (e.g. a sub-bin max_delay after clock sag):
+    // there is nothing to search, so return a flagged zero estimate rather
+    // than aborting the whole pipeline; callers drop !quality_ok tuples.
+    SKYRAN_COUNTER_INC("lte.tof.degenerate_window");
+    TofEstimate flagged;
+    flagged.quality_ok = false;
+    return flagged;
+  }
   std::size_t best = 0;
   double best_mag = std::norm(up[0]);
   double total_mag = 0.0;
@@ -90,6 +101,8 @@ TofEstimate TofEstimator::estimate(const SrsSymbol& received) const {
       (total_mag - best_mag) / static_cast<double>(window > 1 ? window - 1 : 1);
   out.peak_to_side_db =
       mean_off_peak > 0.0 ? rf::linear_to_db(best_mag / mean_off_peak) : 0.0;
+  if (min_peak_to_side_db_ > 0.0 && out.peak_to_side_db < min_peak_to_side_db_)
+    out.quality_ok = false;
   return out;
 }
 

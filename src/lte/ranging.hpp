@@ -16,6 +16,11 @@ struct TofEstimate {
   double delay_s = 0.0;
   double distance_m = 0.0;     ///< delay * c
   double peak_to_side_db = 0.0;  ///< peak power over mean off-peak power
+  /// False when the estimate is unusable: the correlation peak failed the
+  /// quality gate (peak_to_side below min_peak_to_side_db) or the search
+  /// window was degenerate. Consumers must drop flagged estimates instead of
+  /// feeding them to the solver.
+  bool quality_ok = true;
 };
 
 class TofEstimator {
@@ -30,8 +35,13 @@ class TofEstimator {
   /// echoes impose on a max-peak search). 0 disables it (pure eq. 3).
   /// `refine_peak`: parabolic sub-bin interpolation around the chosen peak;
   /// disable to get the paper's raw 1/K-sample quantization.
+  /// `min_peak_to_side_db`: quality gate. Estimates whose peak-to-sidelobe
+  /// ratio falls below this are returned with quality_ok = false (too noisy
+  /// to trust: an SNR-sagged or jammed symbol correlates to a flat response
+  /// whose "peak" is arbitrary). 0 disables the gate.
   explicit TofEstimator(SrsConfig config, int k_factor = 4, double max_delay_samples = 0.0,
-                        double leading_edge_fraction = 0.6, bool refine_peak = true);
+                        double leading_edge_fraction = 0.6, bool refine_peak = true,
+                        double min_peak_to_side_db = 0.0);
 
   /// Estimate the delay of `received` relative to the known transmitted
   /// symbol for this config.
@@ -45,6 +55,7 @@ class TofEstimator {
   const SrsConfig& config() const { return config_; }
   int k_factor() const { return k_factor_; }
   double max_delay_samples() const { return max_delay_samples_; }
+  double min_peak_to_side_db() const { return min_peak_to_side_db_; }
 
  private:
   SrsConfig config_;
@@ -53,6 +64,7 @@ class TofEstimator {
   double max_delay_samples_;
   double leading_edge_fraction_;
   bool refine_peak_;
+  double min_peak_to_side_db_;
 };
 
 }  // namespace skyran::lte

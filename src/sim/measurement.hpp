@@ -10,6 +10,7 @@
 
 #include "rem/bank.hpp"
 #include "rem/rem.hpp"
+#include "sim/faults.hpp"
 #include "sim/world.hpp"
 #include "uav/flight.hpp"
 
@@ -37,8 +38,17 @@ std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& pl
 /// world UE i) and mark the touched cells dirty for the next
 /// RemBank::estimate_all. Draws from `rng` in exactly the same order as the
 /// per-REM overloads, so simulations stay trajectory-identical.
+///
+/// `faults` (optional) injects scripted degradation into the flight: wind
+/// windows drift the airframe off the planned track (reports are measured
+/// and deposited where the UAV actually is), SNR-sag windows degrade every
+/// report, and backhaul windows drop reports outright. `start_time_s` places
+/// the flight on the epoch flight-time axis the fault windows are scripted
+/// in. With `faults == nullptr` (or an inactive injector) the behavior and
+/// RNG stream are bit-identical to the plain overload.
 std::size_t run_measurement_flight(const World& world, const uav::FlightPlan& plan,
                                    rem::RemBank& bank, const MeasurementConfig& config,
-                                   std::mt19937_64& rng);
+                                   std::mt19937_64& rng, FaultInjector* faults = nullptr,
+                                   double start_time_s = 0.0);
 
 }  // namespace skyran::sim

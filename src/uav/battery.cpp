@@ -22,6 +22,11 @@ void Battery::drain(double duration_s, double airspeed_mps) {
   remaining_wh_ = std::max(0.0, remaining_wh_ - power_w(airspeed_mps) * duration_s / 3600.0);
 }
 
+void Battery::deplete_wh(double wh) {
+  expects(wh >= 0.0, "Battery::deplete_wh: energy must be >= 0");
+  remaining_wh_ = std::max(0.0, remaining_wh_ - wh);
+}
+
 double Battery::remaining_fraction() const { return remaining_wh_ / params_.capacity_wh; }
 
 double Battery::hover_endurance_s() const {

@@ -18,6 +18,11 @@ class Battery {
   /// Consume energy for `duration_s` seconds at `airspeed_mps`.
   void drain(double duration_s, double airspeed_mps);
 
+  /// Remove `wh` watt-hours directly (cell sag / fault injection), clamped
+  /// at empty.
+  void deplete_wh(double wh);
+
+  double capacity_wh() const { return params_.capacity_wh; }
   double remaining_wh() const { return remaining_wh_; }
   double remaining_fraction() const;
   bool depleted() const { return remaining_wh_ <= 0.0; }

@@ -43,6 +43,27 @@ geo::Vec3 plan_point_at(const FlightPlan& plan, double s) {
   return plan.waypoints.back();
 }
 
+FlightPlan truncated(const FlightPlan& plan, double max_length_m) {
+  expects(max_length_m >= 0.0, "truncated: max length must be >= 0");
+  FlightPlan out;
+  out.speed_mps = plan.speed_mps;
+  if (plan.waypoints.empty()) return out;
+  out.waypoints.push_back(plan.waypoints.front());
+  double left = max_length_m;
+  for (std::size_t i = 1; i < plan.waypoints.size() && left > 0.0; ++i) {
+    const double seg = plan.waypoints[i].dist(plan.waypoints[i - 1]);
+    if (seg <= left) {
+      out.waypoints.push_back(plan.waypoints[i]);
+      left -= seg;
+    } else {
+      out.waypoints.push_back(plan.waypoints[i - 1] +
+                              (plan.waypoints[i] - plan.waypoints[i - 1]) * (left / seg));
+      left = 0.0;
+    }
+  }
+  return out;
+}
+
 std::vector<FlightSample> fly(const FlightPlan& plan, double dt_s, double start_time_s,
                               Battery* battery) {
   expects(dt_s > 0.0, "fly: sampling interval must be positive");

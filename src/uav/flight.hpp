@@ -45,4 +45,9 @@ std::vector<FlightSample> fly(const FlightPlan& plan, double dt_s, double start_
 /// Position along the plan at arc length `s` meters from the start.
 geo::Vec3 plan_point_at(const FlightPlan& plan, double s);
 
+/// Prefix of `plan` of at most `max_length_m` meters (same speed). Used by
+/// the degraded epoch path to abort a tour the battery cannot finish: the
+/// truncated plan ends exactly where the energy runs out.
+FlightPlan truncated(const FlightPlan& plan, double max_length_m);
+
 }  // namespace skyran::uav

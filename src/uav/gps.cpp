@@ -1,5 +1,7 @@
 #include "uav/gps.hpp"
 
+#include <algorithm>
+
 #include "geo/contract.hpp"
 
 namespace skyran::uav {
@@ -27,8 +29,7 @@ GpsFix GpsSensor::sample(geo::Vec3 p, double t) {
   if (outage_enter_prob_ > 0.0) {
     std::uniform_real_distribution<double> u01(0.0, 1.0);
     if (u01(rng_) < outage_enter_prob_) {
-      std::geometric_distribution<int> len(1.0 / outage_mean_len_);
-      outage_left_ = 1 + len(rng_);
+      outage_left_ = sample_outage_length();
       --outage_left_;
       return {t, have_last_ ? last_valid_ : p, false};
     }
@@ -38,6 +39,21 @@ GpsFix GpsSensor::sample(geo::Vec3 p, double t) {
   last_valid_ = fix.position;
   have_last_ = true;
   return fix;
+}
+
+int GpsSensor::sample_outage_length() {
+  // An outage is 1 + Geometric(1/mean) samples long, which has mean
+  // `outage_mean_len_`. geometric_distribution requires p strictly inside
+  // (0,1): mean == 1 maps to p == 1 (undefined behavior), so outages of the
+  // minimum mean length are emitted as exactly one sample instead.
+  if (outage_mean_len_ <= 1.0) return 1;
+  std::geometric_distribution<int> len(1.0 / outage_mean_len_);
+  return 1 + len(rng_);
+}
+
+void GpsSensor::force_outage_for(int samples) {
+  expects(samples >= 0, "GpsSensor::force_outage_for: sample count must be >= 0");
+  outage_left_ = std::max(outage_left_, samples);
 }
 
 }  // namespace skyran::uav

@@ -31,11 +31,17 @@ class GpsSensor {
   /// loses lock near structures; localization must tolerate gaps.
   void set_outage_model(double enter_probability, double mean_length_samples);
 
+  /// Force the next `samples` fixes to be outages (fault injection: a
+  /// scripted outage window drives the same machinery as the random model).
+  void force_outage_for(int samples);
+
   bool in_outage() const { return outage_left_ > 0; }
 
   static constexpr double kRateHz = 50.0;
 
  private:
+  int sample_outage_length();
+
   std::mt19937_64 rng_;
   std::normal_distribution<double> horizontal_;
   std::normal_distribution<double> vertical_;

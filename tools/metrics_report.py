@@ -70,6 +70,23 @@ def main(argv):
         print(f"  histogram {rec['name']:<40} n={rec['count']} mean={rec['mean']:.4g} "
               f"p50={rec['p50']:.4g} p90={rec['p90']:.4g} max={rec['max']:.4g}")
 
+    # Fault-injection roll-up: every fault.* counter plus the degraded-path
+    # quality gates, grouped so a chaos run's injected-vs-degraded story is
+    # readable at a glance (names: docs/OBSERVABILITY.md).
+    fault_counters = [rec for rec in by_type["counter"]
+                      if rec["name"].startswith("fault.")
+                      or rec["name"] in ("loc.tof.gated_low_quality",
+                                         "lte.tof.degenerate_window")]
+    if fault_counters:
+        total = sum(rec["value"] for rec in fault_counters)
+        print(f"fault injection summary ({total} events):")
+        for rec in sorted(fault_counters, key=lambda r: (-r["value"], r["name"])):
+            print(f"  fault     {rec['name']:<40} {rec['value']}")
+        degraded = [rec for rec in by_type["gauge"] if rec["name"] == "epoch.degraded"]
+        if degraded:
+            state = "degraded" if degraded[-1]["value"] else "clean"
+            print(f"  fault     {'epoch.degraded (last epoch)':<40} {state}")
+
     if show_spans:
         totals = defaultdict(lambda: [0, 0.0])
         for rec in by_type["span"]:
