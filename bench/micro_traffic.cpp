@@ -1,0 +1,113 @@
+// Traffic-plane throughput: how many UE-TTIs/sec the batched SoA MAC
+// sustains at massive UE counts, serial vs 8 workers, per scheduling policy
+// and with the adaptive MBSFN split on. Each scenario runs the identical
+// plane twice — once under ScopedWorkers(1), once under ScopedWorkers(8) —
+// and verifies the end-state hashes match (the repo's serial == N-worker
+// bit-identity contract). Not a google-benchmark binary: like micro_parallel
+// and micro_rem it emits one machine-readable JSON line per scenario.
+//
+// Usage: micro_traffic [ues] [ttis] [reps]   (default 100000 UEs, 500 TTIs,
+// best-of-1; reported rate is the 8-worker run's)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/thread_pool.hpp"
+#include "lte/traffic_plane.hpp"
+#include "obs_session.hpp"
+
+namespace skyran::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Scenario {
+  const char* name;
+  lte::SchedulerPolicy policy;
+  bool mbsfn;
+};
+
+lte::TrafficPlane make_plane(const Scenario& s, std::size_t ues) {
+  lte::TrafficPlaneConfig cfg;
+  cfg.policy = s.policy;
+  cfg.seed = 9001;
+  if (s.mbsfn) {
+    cfg.adaptive_mbsfn = true;
+    cfg.multicast_rate_bps = 4e6;
+  }
+  lte::TrafficPlane plane(cfg);
+  const lte::TrafficModel models[] = {lte::TrafficModel::kFullBuffer, lte::TrafficModel::kCbr,
+                                      lte::TrafficModel::kBurstyOnOff, lte::TrafficModel::kVideo};
+  for (std::size_t i = 0; i < ues; ++i) {
+    lte::TrafficSpec spec;
+    spec.model = models[i % 4];
+    spec.rate_bps = 2e5 + 1e5 * static_cast<double>(i % 4);
+    spec.multicast_subscriber = s.mbsfn && i % 64 == 0;
+    plane.add_ue(static_cast<std::uint32_t>(61 + i), -5.0 + static_cast<double>(i % 36),
+                 spec);
+  }
+  return plane;
+}
+
+struct RunResult {
+  double ms = 0.0;
+  std::uint64_t hash = 0;
+  lte::TrafficPlaneReport report;
+};
+
+RunResult run_once(const Scenario& s, std::size_t ues, int ttis, int workers, int reps) {
+  const core::ScopedWorkers scoped(workers);
+  RunResult best;
+  best.ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    lte::TrafficPlane plane = make_plane(s, ues);
+    const auto t0 = Clock::now();
+    plane.run_ttis(ttis);
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    if (dt.count() < best.ms) best.ms = dt.count();
+    best.hash = plane.state_hash();
+    best.report = plane.report();
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace skyran::bench
+
+int main(int argc, char** argv) {
+  using namespace skyran;
+  using namespace skyran::bench;
+
+  const std::size_t ues = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 100000;
+  const int ttis = argc > 2 ? std::max(1, std::atoi(argv[2])) : 500;
+  const int reps = argc > 3 ? std::max(1, std::atoi(argv[3])) : 1;
+
+  const Scenario scenarios[] = {
+      {"rr_unicast", lte::SchedulerPolicy::kRoundRobin, false},
+      {"pf_unicast", lte::SchedulerPolicy::kProportionalFair, false},
+      {"pf_mbsfn", lte::SchedulerPolicy::kProportionalFair, true},
+  };
+
+  for (const Scenario& s : scenarios) {
+    const RunResult serial = run_once(s, ues, ttis, /*workers=*/1, reps);
+    const RunResult parallel = run_once(s, ues, ttis, /*workers=*/8, reps);
+    const bool equal = serial.hash == parallel.hash;
+    const double ue_ttis = static_cast<double>(ues) * static_cast<double>(ttis);
+    const double rate = ue_ttis / (parallel.ms * 1e-3);
+    std::printf(
+        "{\"bench\":\"micro_traffic\",\"kind\":\"scenario\",\"scenario\":\"%s\","
+        "\"ues\":%zu,\"ttis\":%d,\"serial_ms\":%.3f,\"parallel_ms\":%.3f,"
+        "\"ue_ttis_per_sec\":%.0f,\"served_gbit\":%.3f,\"harq_retx\":%llu,"
+        "\"harq_drops\":%llu,\"mbsfn_subframes\":%d,\"fairness_jain\":%.4f,"
+        "\"equal\":%s}\n",
+        s.name, ues, ttis, serial.ms, parallel.ms, rate,
+        parallel.report.served_bits / 1e9,
+        static_cast<unsigned long long>(parallel.report.harq_retx),
+        static_cast<unsigned long long>(parallel.report.harq_drops),
+        parallel.report.mbsfn_subframes, parallel.report.fairness_jain,
+        equal ? "true" : "false");
+    std::fflush(stdout);
+  }
+  return 0;
+}

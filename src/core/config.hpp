@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "localization/localizer.hpp"
+#include "lte/traffic_plane.hpp"
 #include "rem/placement.hpp"
 #include "rem/planner.hpp"
 #include "rem/rem.hpp"
@@ -21,6 +22,20 @@ enum class LocalizationMode {
   kPhy,            ///< full SRS/ToF/multilateration pipeline
   kPerfect,        ///< oracle positions (upper bound)
   kGaussianError,  ///< oracle + injected error of a configured magnitude
+};
+
+/// Service phase (epoch step "serve"): after placement, a per-TTI traffic
+/// plane carries MAC-level load from the chosen position so the epoch report
+/// scores what the RAN actually delivers, not just SNR.
+struct ServicePhaseConfig {
+  /// TTIs (1 ms each) of traffic served per epoch; 0 disables the phase.
+  int ttis = 256;
+  /// Traffic-plane knobs. carrier and seed are overwritten per epoch (the
+  /// world's carrier; a seed derived from the SkyRan seed and epoch number).
+  lte::TrafficPlaneConfig plane{};
+  /// Traffic model every served UE runs (CBR keeps queue-delay percentiles
+  /// meaningful; switch to kFullBuffer for pure capacity numbers).
+  lte::TrafficSpec ue_traffic{.model = lte::TrafficModel::kCbr, .rate_bps = 2e6};
 };
 
 struct SkyRanConfig {
@@ -62,6 +77,9 @@ struct SkyRanConfig {
 
   /// Energy model of the airframe's battery (capacity, hover/forward draw).
   uav::BatteryParams battery{};
+
+  /// Per-epoch service phase (traffic served after placement).
+  ServicePhaseConfig service{};
 
   /// Scripted fault schedule applied to every epoch (times are epoch
   /// flight-time seconds, t = 0 at the localization flight's start). An

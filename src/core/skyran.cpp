@@ -13,6 +13,7 @@ namespace skyran::core {
 SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
     : world_(world),
       config_(config),
+      seed_(seed),
       rng_(seed),
       fspl_(world.channel().frequency_hz()),
       store_(config.reuse_radius_m),
@@ -302,6 +303,34 @@ EpochReport SkyRan::run_epoch() {
   report.served_mean_throughput_bps = throughput_at_placement_bps_;
   report.degraded = report.degraded || epoch_degraded_;
   last_estimates_ = report.estimated_ue_positions;
+  epoch_time_s += reposition_m / config_.cruise_mps;
+
+  // Service phase: carry per-TTI MAC-level traffic from the placement so the
+  // epoch is scored under load, not just on SNR. The plane's seed derives
+  // from the construction seed and epoch number only — never from rng_ — so
+  // every pre-existing report field stays byte-identical to builds without a
+  // service phase (and under the empty-FaultPlan no-op contract).
+  if (config_.service.ttis > 0) {
+    SKYRAN_TRACE_SPAN("epoch.serve");
+    lte::TrafficPlaneConfig plane_config = config_.service.plane;
+    plane_config.carrier = world_.carrier();
+    plane_config.seed = seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(epoch_));
+    lte::TrafficPlane plane(plane_config);
+    const geo::Vec3 uav{position_, altitude};
+    const std::vector<geo::Vec3>& ues = world_.ue_positions();
+    for (std::size_t i = 0; i < ues.size(); ++i)
+      plane.add_ue(static_cast<std::uint32_t>(61 + i), world_.snr_db(uav, ues[i]),
+                   config_.service.ue_traffic);
+    // An SRS SNR-sag window still open when service starts sags the true
+    // channel below the CQI reports the scheduler works from.
+    if (faults != nullptr) plane.set_snr_offset_db(-faults->srs_snr_sag_db(epoch_time_s));
+    plane.run_ttis(config_.service.ttis);
+    report.traffic = plane.report();
+    SKYRAN_GAUGE_SET("traffic.throughput_bps", report.traffic.aggregate_throughput_bps);
+    SKYRAN_GAUGE_SET("traffic.fairness_jain", report.traffic.fairness_jain);
+    SKYRAN_HISTOGRAM_OBSERVE("traffic.p50_throughput_bps", report.traffic.p50_throughput_bps);
+    SKYRAN_HISTOGRAM_OBSERVE("traffic.p99_delay_ms", report.traffic.p99_delay_ms);
+  }
 
   SKYRAN_HISTOGRAM_OBSERVE("epoch.total_flight_m", report.total_flight_m);
   SKYRAN_HISTOGRAM_OBSERVE("epoch.measurement_flight_m", report.measurement_flight_m);

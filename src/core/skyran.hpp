@@ -37,6 +37,9 @@ struct EpochReport {
   int planned_k = 0;
   double info_to_cost = 0.0;
   int measurement_rounds = 0;            ///< tours actually flown this epoch
+  /// Service-phase outcome: per-TTI traffic served from the placement
+  /// (throughput/fairness/latency percentiles, HARQ accounting).
+  lte::TrafficPlaneReport traffic;
   /// True when the epoch took a degraded path: a UE could not be localized
   /// (position fell back to the previous epoch's estimate or the area
   /// center), a tour was aborted mid-flight on battery, or the measurement
@@ -86,6 +89,7 @@ class SkyRan {
 
   sim::World& world_;
   SkyRanConfig config_;
+  std::uint64_t seed_;  ///< construction seed (service-phase derivation)
   std::mt19937_64 rng_;
   rf::FsplChannel fspl_;
 

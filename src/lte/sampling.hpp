@@ -11,6 +11,12 @@ namespace skyran::lte {
 /// Subcarrier spacing, Hz.
 inline constexpr double kSubcarrierSpacingHz = 15e3;
 
+/// One PRB: 12 subcarriers of 15 kHz.
+inline constexpr double kPrbBandwidthHz = 12 * kSubcarrierSpacingHz;
+
+/// Transmission time interval (one subframe), seconds.
+inline constexpr double kTtiSeconds = 1e-3;
+
 struct BandwidthConfig {
   double bandwidth_hz = 10e6;
   int n_prb = 50;           ///< resource blocks (12 subcarriers each)

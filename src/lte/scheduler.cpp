@@ -8,8 +8,6 @@
 namespace skyran::lte {
 
 namespace {
-constexpr double kTtiSeconds = 1e-3;
-constexpr double kPrbBandwidthHz = 180e3;
 constexpr double kEwmaAlpha = 0.01;  // ~100 ms horizon
 
 double prb_bits(double snr_db, int prb) {
@@ -22,16 +20,14 @@ Scheduler::Scheduler(BandwidthConfig carrier, SchedulerPolicy policy)
     : carrier_(carrier), policy_(policy) {}
 
 Scheduler::RateState& Scheduler::state_for(std::uint32_t rnti) {
-  for (RateState& s : rates_)
-    if (s.rnti == rnti) return s;
-  rates_.push_back({rnti, 1.0});
-  return rates_.back();
+  const auto [it, inserted] = rate_index_.try_emplace(rnti, rates_.size());
+  if (inserted) rates_.push_back({rnti, 1.0});
+  return rates_[it->second];
 }
 
 double Scheduler::average_rate_bps(std::uint32_t rnti) const {
-  for (const RateState& s : rates_)
-    if (s.rnti == rnti) return s.ewma_bps;
-  return 0.0;
+  const auto it = rate_index_.find(rnti);
+  return it != rate_index_.end() ? rates_[it->second].ewma_bps : 0.0;
 }
 
 std::vector<UeAllocation> Scheduler::schedule_tti(const std::vector<UeChannelState>& ues) {

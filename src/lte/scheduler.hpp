@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "lte/amc.hpp"
@@ -56,6 +57,9 @@ class Scheduler {
   BandwidthConfig carrier_;
   SchedulerPolicy policy_;
   std::vector<RateState> rates_;
+  /// rnti -> index into rates_: keeps state_for O(1) amortized so a TTI
+  /// over N UEs stays O(N) instead of O(N^2).
+  std::unordered_map<std::uint32_t, std::size_t> rate_index_;
   std::size_t rr_cursor_ = 0;
 };
 

@@ -1,0 +1,584 @@
+#include "lte/traffic_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/thread_pool.hpp"
+#include "geo/contract.hpp"
+#include "obs/obs.hpp"
+
+namespace skyran::lte {
+
+namespace {
+
+constexpr double kFullBufferBits = 1e12;
+
+// Counter-based randomness: every draw is a pure function of
+// (seed, stream, ue, tti), so parallel phases never share generator state
+// and serial == N-worker output is bit-for-bit identical.
+enum Stream : std::uint64_t {
+  kStreamBurstInit = 0x1001,
+  kStreamBurst = 0x1002,
+  kStreamVideo = 0x1003,
+  kStreamHarq = 0x1004,
+};
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double u01(std::uint64_t seed, std::uint64_t stream, std::uint64_t ue,
+           std::uint64_t tti) {
+  const std::uint64_t h = mix64(seed ^ mix64(stream ^ mix64(ue ^ mix64(tti))));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double cqi_threshold_db(int cqi) { return cqi_table()[cqi - 1].snr_threshold_db; }
+
+/// MBSFN-capable subframe positions within a 10 ms frame (3GPP: all but the
+/// PSS/SSS/PBCH and paging subframes 0, 4, 5, 9).
+constexpr int kMbsfnPositions[6] = {1, 2, 3, 6, 7, 8};
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+}
+
+template <typename T>
+void hash_vec(std::uint64_t& h, const std::vector<T>& v) {
+  if (!v.empty()) hash_bytes(h, v.data(), v.size() * sizeof(T));
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+TrafficPlane::TrafficPlane(TrafficPlaneConfig config) : config_(config) {
+  expects(config_.carrier.n_prb > 0, "TrafficPlane: carrier must have PRBs");
+  expects(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+          "TrafficPlane: ewma_alpha must be in (0,1]");
+  expects(config_.harq_processes >= 1 && config_.harq_processes <= 16,
+          "TrafficPlane: harq_processes must be in [1,16]");
+  expects(config_.harq_max_retx >= 0, "TrafficPlane: harq_max_retx must be >= 0");
+  expects(config_.target_bler >= 0.0 && config_.target_bler <= 1.0,
+          "TrafficPlane: target_bler must be in [0,1]");
+  expects(config_.bler_halving_db > 0.0, "TrafficPlane: bler_halving_db must be positive");
+  expects(config_.max_mbsfn_per_frame >= 0 && config_.max_mbsfn_per_frame <= 6,
+          "TrafficPlane: max_mbsfn_per_frame must be in [0,6]");
+  expects(config_.multicast_rate_bps >= 0.0,
+          "TrafficPlane: multicast_rate_bps must be >= 0");
+}
+
+std::size_t TrafficPlane::add_ue(std::uint32_t rnti, double snr_db,
+                                 const TrafficSpec& traffic) {
+  expects(std::isfinite(snr_db), "TrafficPlane::add_ue: SNR must be finite");
+  expects(traffic.rate_bps >= 0.0, "TrafficPlane::add_ue: rate must be >= 0");
+  expects(traffic.mean_on_ttis >= 1.0 && traffic.mean_off_ttis >= 1.0,
+          "TrafficPlane::add_ue: bursty state means must be >= 1 TTI");
+  expects(traffic.frame_interval_ttis >= 1 && traffic.gop_frames >= 1,
+          "TrafficPlane::add_ue: video frame parameters must be >= 1");
+
+  const std::size_t i = n_ues_++;
+  rnti_.push_back(rnti);
+  snr_db_.push_back(snr_db);
+  const int cqi = snr_to_cqi(snr_db);
+  cqi_.push_back(cqi);
+  rate_1prb_.push_back(cqi_efficiency(cqi) * kPrbBandwidthHz * kTtiSeconds *
+                       (1.0 - kL1OverheadFraction));
+
+  model_.push_back(static_cast<std::uint8_t>(traffic.model));
+  rate_bps_.push_back(traffic.rate_bps);
+  p_on_off_.push_back(1.0 / traffic.mean_on_ttis);
+  p_off_on_.push_back(1.0 / traffic.mean_off_ttis);
+  const double duty =
+      traffic.mean_on_ttis / (traffic.mean_on_ttis + traffic.mean_off_ttis);
+  burst_on_.push_back(u01(config_.seed, kStreamBurstInit, i, 0) < duty ? 1 : 0);
+  frame_interval_.push_back(traffic.frame_interval_ttis);
+  gop_frames_.push_back(traffic.gop_frames);
+  subscribed_.push_back(traffic.multicast_subscriber ? 1 : 0);
+
+  backlog_bits_.push_back(traffic.model == TrafficModel::kFullBuffer ? kFullBufferBits
+                                                                     : 0.0);
+  ewma_bps_.push_back(1.0);  // PF floor: avoids divide-by-zero in the metric
+
+  const std::size_t h = static_cast<std::size_t>(config_.harq_processes);
+  harq_bits_.resize(harq_bits_.size() + h, 0.0);
+  harq_prb_.resize(harq_prb_.size() + h, 0);
+  harq_retx_.resize(harq_retx_.size() + h, 0);
+  harq_active_.resize(harq_active_.size() + h, 0);
+
+  offered_bits_.push_back(0.0);
+  served_bits_.push_back(0.0);
+  dropped_bits_.push_back(0.0);
+  backlog_sum_bits_.push_back(0.0);
+  last_served_tti_.push_back(-1);
+
+  eligible_.push_back(0);
+  metric_.push_back(0.0);
+  ewma_add_.push_back(0.0);
+  last_prb_.push_back(0);
+  return i;
+}
+
+void TrafficPlane::set_snr(std::size_t ue, double snr_db) {
+  expects(ue < n_ues_, "TrafficPlane::set_snr: UE index out of range");
+  expects(std::isfinite(snr_db), "TrafficPlane::set_snr: SNR must be finite");
+  snr_db_[ue] = snr_db;
+  const int cqi = snr_to_cqi(snr_db);
+  cqi_[ue] = cqi;
+  rate_1prb_[ue] = cqi_efficiency(cqi) * kPrbBandwidthHz * kTtiSeconds *
+                   (1.0 - kL1OverheadFraction);
+}
+
+double TrafficPlane::in_flight_bits(std::size_t ue) const {
+  expects(ue < n_ues_, "TrafficPlane::in_flight_bits: UE index out of range");
+  const std::size_t h = static_cast<std::size_t>(config_.harq_processes);
+  double bits = 0.0;
+  for (std::size_t p = 0; p < h; ++p)
+    if (harq_active_[ue * h + p]) bits += harq_bits_[ue * h + p];
+  return bits;
+}
+
+bool TrafficPlane::harq_active(std::size_t ue, int process) const {
+  expects(ue < n_ues_ && process >= 0 && process < config_.harq_processes,
+          "TrafficPlane::harq_active: index out of range");
+  return harq_active_[ue * static_cast<std::size_t>(config_.harq_processes) +
+                      static_cast<std::size_t>(process)] != 0;
+}
+
+int TrafficPlane::harq_retx_count(std::size_t ue, int process) const {
+  expects(ue < n_ues_ && process >= 0 && process < config_.harq_processes,
+          "TrafficPlane::harq_retx_count: index out of range");
+  return harq_retx_[ue * static_cast<std::size_t>(config_.harq_processes) +
+                    static_cast<std::size_t>(process)];
+}
+
+void TrafficPlane::phase1_arrivals_and_metrics(std::int64_t t) {
+  const bool pf = config_.policy == SchedulerPolicy::kProportionalFair;
+  const std::size_t h = static_cast<std::size_t>(config_.harq_processes);
+  const std::size_t process =
+      static_cast<std::size_t>(t % static_cast<std::int64_t>(h));
+  core::parallel_for(n_ues_, [&](std::size_t i) {
+    switch (static_cast<TrafficModel>(model_[i])) {
+      case TrafficModel::kFullBuffer:
+        backlog_bits_[i] = kFullBufferBits;
+        break;
+      case TrafficModel::kCbr: {
+        const double bits = rate_bps_[i] * kTtiSeconds;
+        backlog_bits_[i] += bits;
+        offered_bits_[i] += bits;
+        break;
+      }
+      case TrafficModel::kBurstyOnOff: {
+        const double u = u01(config_.seed, kStreamBurst, i,
+                             static_cast<std::uint64_t>(t));
+        if (burst_on_[i]) {
+          const double bits = rate_bps_[i] * kTtiSeconds;
+          backlog_bits_[i] += bits;
+          offered_bits_[i] += bits;
+          if (u < p_on_off_[i]) burst_on_[i] = 0;
+        } else if (u < p_off_on_[i]) {
+          burst_on_[i] = 1;
+        }
+        break;
+      }
+      case TrafficModel::kVideo: {
+        // Frames land every frame_interval TTIs, phase-staggered by UE
+        // index so 10^5 streams do not all burst on the same TTI. I-frames
+        // (one per GOP) carry 2.5x the mean; P-frames shrink to keep the
+        // long-run rate at rate_bps. Sizes jitter +-25% deterministically.
+        const std::int64_t interval = frame_interval_[i];
+        const std::int64_t phase =
+            static_cast<std::int64_t>(i) % interval;
+        if (t >= phase && (t - phase) % interval == 0) {
+          const std::int64_t frame = (t - phase) / interval;
+          const double mean_bits = rate_bps_[i] * kTtiSeconds *
+                                   static_cast<double>(interval);
+          const double gop = static_cast<double>(gop_frames_[i]);
+          const bool iframe = frame % gop_frames_[i] == 0;
+          const double scale =
+              gop > 1.5 ? (iframe ? 2.5 : (gop - 2.5) / (gop - 1.0)) : 1.0;
+          const double jitter =
+              0.75 + 0.5 * u01(config_.seed, kStreamVideo, i,
+                               static_cast<std::uint64_t>(frame));
+          const double bits = mean_bits * scale * jitter;
+          backlog_bits_[i] += bits;
+          offered_bits_[i] += bits;
+        }
+        break;
+      }
+    }
+    if (harq_active_[i * h + process]) {
+      eligible_[i] = 2;  // this TTI's process owes a retransmission
+      metric_[i] = 0.0;
+    } else if (backlog_bits_[i] > 0.0 && cqi_[i] > 0) {
+      eligible_[i] = 1;
+      metric_[i] = pf ? rate_1prb_[i] / std::max(1.0, ewma_bps_[i]) : 0.0;
+    } else {
+      eligible_[i] = 0;
+      metric_[i] = 0.0;
+    }
+  });
+}
+
+double TrafficPlane::multicast_subframe_capacity_bits() const {
+  int min_cqi = std::numeric_limits<int>::max();
+  bool any = false;
+  for (std::size_t i = 0; i < n_ues_; ++i) {
+    if (!subscribed_[i]) continue;
+    any = true;
+    min_cqi = std::min(min_cqi, cqi_[i]);
+  }
+  if (!any || min_cqi <= 0) return 0.0;
+  return cqi_efficiency(min_cqi) * kPrbBandwidthHz * kTtiSeconds *
+         static_cast<double>(config_.carrier.n_prb) * (1.0 - kL1OverheadFraction);
+}
+
+void TrafficPlane::refresh_mbsfn_pattern(std::int64_t t) {
+  (void)t;
+  mbsfn_capacity_bits_ = multicast_subframe_capacity_bits();
+  if (mbsfn_capacity_bits_ <= 0.0) {
+    mbsfn_this_frame_ = 0;
+    return;
+  }
+  // Subframes this frame must carry to drain the broadcast backlog plus the
+  // frame's own arrivals, capped at the MBSFN maximum.
+  const double frame_demand =
+      mcast_backlog_bits_ + config_.multicast_rate_bps * kTtiSeconds * 10.0;
+  const int needed =
+      static_cast<int>(std::ceil(frame_demand / mbsfn_capacity_bits_));
+  mbsfn_this_frame_ = std::clamp(needed, 0, config_.max_mbsfn_per_frame);
+}
+
+void TrafficPlane::phase2_allocate(std::int64_t t) {
+  for (const SchedEntry& e : scheduled_) last_prb_[e.ue] = 0;
+  scheduled_.clear();
+  const int total_prb = config_.carrier.n_prb;
+  last_tti_ = {t, 0, total_prb, false};
+
+  if (config_.adaptive_mbsfn) {
+    mcast_backlog_bits_ += config_.multicast_rate_bps * kTtiSeconds;
+    if (t % 10 == 0) refresh_mbsfn_pattern(t);
+    const int pos = static_cast<int>(t % 10);
+    for (int s = 0; s < mbsfn_this_frame_; ++s) {
+      if (kMbsfnPositions[s] != pos) continue;
+      // Multicast subframe: the whole carrier carries the broadcast at the
+      // worst subscriber's CQI; unicast (and its HARQ feedback) pauses.
+      const double bits = std::min(mbsfn_capacity_bits_, mcast_backlog_bits_);
+      mcast_backlog_bits_ -= bits;
+      mcast_served_bits_ += bits;
+      ++mbsfn_subframes_total_;
+      last_tti_.mbsfn = true;
+      return;
+    }
+  }
+
+  const std::size_t h = static_cast<std::size_t>(config_.harq_processes);
+  const std::size_t process =
+      static_cast<std::size_t>(t % static_cast<std::int64_t>(h));
+  int prb_left = total_prb;
+
+  // Pending retransmissions first, in UE order: a retx reuses its original
+  // grant size or waits for the process's next turn.
+  const bool pf = config_.policy == SchedulerPolicy::kProportionalFair;
+  // Candidate selection state for new transmissions, filled in the same
+  // O(N) pass that collects retransmissions.
+  struct Cand {
+    double metric;
+    std::uint32_t ue;
+  };
+  static thread_local std::vector<Cand> heap;  // PF top-K scratch
+  heap.clear();
+  static thread_local std::vector<std::uint32_t> rr_list;
+  rr_list.clear();
+  std::size_t eligible_total = 0;
+
+  // "a worse than b" under the total order (metric desc, ue asc).
+  const auto worse = [](const Cand& a, const Cand& b) {
+    return a.metric < b.metric || (a.metric == b.metric && a.ue > b.ue);
+  };
+  // Max-heap on "worse": top() is the weakest kept candidate.
+  const auto heap_cmp = [&](const Cand& a, const Cand& b) { return !worse(a, b); };
+
+  for (std::size_t i = 0; i < n_ues_; ++i) {
+    if (eligible_[i] == 2) {
+      const std::size_t slot = i * h + process;
+      const int need = std::max<int>(1, harq_prb_[slot]);
+      if (need <= prb_left) {
+        scheduled_.push_back({static_cast<std::uint32_t>(i),
+                              static_cast<std::uint16_t>(need),
+                              static_cast<std::uint8_t>(process), true});
+        prb_left -= need;
+      }
+      continue;
+    }
+    if (eligible_[i] != 1) continue;
+    ++eligible_total;
+    if (pf) {
+      const Cand c{metric_[i], static_cast<std::uint32_t>(i)};
+      if (heap.size() < static_cast<std::size_t>(total_prb)) {
+        heap.push_back(c);
+        std::push_heap(heap.begin(), heap.end(), heap_cmp);
+      } else if (worse(heap.front(), c)) {
+        std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+        heap.back() = c;
+        std::push_heap(heap.begin(), heap.end(), heap_cmp);
+      }
+    }
+  }
+
+  int allocated = total_prb - prb_left;
+  if (prb_left > 0 && eligible_total > 0) {
+    const std::size_t first_new = scheduled_.size();
+    if (pf) {
+      std::sort(heap.begin(), heap.end(),
+                [&](const Cand& a, const Cand& b) { return worse(b, a); });
+      if (eligible_total <= static_cast<std::size_t>(prb_left)) {
+        // Few UEs, many PRBs: proportional shares, floor + leftover to the
+        // highest metrics (the heap holds every eligible UE here).
+        double metric_sum = 0.0;
+        for (const Cand& c : heap) metric_sum += c.metric;
+        int assigned = 0;
+        for (const Cand& c : heap) {
+          const int share = static_cast<int>(
+              std::floor(prb_left * c.metric / std::max(1e-300, metric_sum)));
+          scheduled_.push_back({c.ue, static_cast<std::uint16_t>(share),
+                                static_cast<std::uint8_t>(process), false});
+          assigned += share;
+        }
+        for (std::size_t j = 0; assigned < prb_left; ++j, ++assigned)
+          ++scheduled_[first_new + j % heap.size()].prb;
+      } else {
+        // Massive-UE regime: one PRB each to the top metrics.
+        const std::size_t k =
+            std::min(heap.size(), static_cast<std::size_t>(prb_left));
+        for (std::size_t j = 0; j < k; ++j)
+          scheduled_.push_back({heap[j].ue, 1,
+                                static_cast<std::uint8_t>(process), false});
+      }
+    } else {
+      // Round robin: walk from the cursor, wrapping once; stop as soon as
+      // one more candidate than the PRB budget is found (enough to know
+      // which regime applies).
+      const std::size_t cap = static_cast<std::size_t>(prb_left) + 1;
+      for (std::size_t step = 0; step < n_ues_ && rr_list.size() < cap; ++step) {
+        const std::size_t i = (rr_cursor_ + step) % n_ues_;
+        if (eligible_[i] == 1) rr_list.push_back(static_cast<std::uint32_t>(i));
+      }
+      if (rr_list.size() > static_cast<std::size_t>(prb_left)) {
+        rr_list.pop_back();  // one PRB each; the probe candidate waits
+        for (std::uint32_t ue : rr_list)
+          scheduled_.push_back({ue, 1, static_cast<std::uint8_t>(process), false});
+        rr_cursor_ = (static_cast<std::size_t>(rr_list.back()) + 1) % n_ues_;
+      } else {
+        // Everyone fits: even split, remainder rotating with the TTI index
+        // so short-run shares even out (mirrors the legacy scheduler).
+        const int base = prb_left / static_cast<int>(rr_list.size());
+        int leftover = prb_left % static_cast<int>(rr_list.size());
+        const std::size_t rot =
+            static_cast<std::size_t>(t) % rr_list.size();
+        for (std::size_t j = 0; j < rr_list.size(); ++j)
+          scheduled_.push_back({rr_list[j], static_cast<std::uint16_t>(base),
+                                static_cast<std::uint8_t>(process), false});
+        for (std::size_t j = 0; leftover > 0; ++j, --leftover)
+          ++scheduled_[first_new + (rot + j) % rr_list.size()].prb;
+        ++rr_cursor_;
+      }
+    }
+    for (std::size_t j = first_new; j < scheduled_.size(); ++j)
+      allocated += scheduled_[j].prb;
+  }
+  last_tti_.prb_allocated = allocated;
+  for (const SchedEntry& e : scheduled_) last_prb_[e.ue] = e.prb;
+}
+
+void TrafficPlane::phase3_transmit(std::int64_t t) {
+  const std::size_t h = static_cast<std::size_t>(config_.harq_processes);
+  const auto p_fail = [&](double margin_db) {
+    const double p =
+        config_.target_bler * std::exp2(-margin_db / config_.bler_halving_db);
+    return std::clamp(p, 0.0, 1.0);
+  };
+
+  for (const SchedEntry& e : scheduled_) {
+    const std::size_t i = e.ue;
+    const int cqi = cqi_[i];
+    const double threshold = cqi_threshold_db(cqi);
+    const double u =
+        u01(config_.seed, kStreamHarq, i, static_cast<std::uint64_t>(t));
+    ++scheduled_ue_ttis_;
+
+    if (e.is_retx) {
+      const std::size_t slot = i * h + e.process;
+      const int retx_no = harq_retx_[slot] + 1;
+      // Chase combining: every flown copy adds combining gain. The block is
+      // re-decoded against the current CQI's threshold (the reported SNR is
+      // assumed quasi-static over a HARQ round trip).
+      const double margin = snr_db_[i] + snr_offset_db_ +
+                            config_.harq_combining_gain_db * retx_no - threshold;
+      ++harq_retx_tx_;
+      if (u >= p_fail(margin)) {
+        served_bits_[i] += harq_bits_[slot];
+        ewma_add_[i] += harq_bits_[slot];
+        last_served_tti_[i] = t;
+        harq_active_[slot] = 0;
+        harq_retx_[slot] = 0;
+      } else if (retx_no >= config_.harq_max_retx) {
+        dropped_bits_[i] += harq_bits_[slot];
+        harq_active_[slot] = 0;
+        harq_retx_[slot] = 0;
+        ++harq_drops_;
+      } else {
+        harq_retx_[slot] = static_cast<std::uint8_t>(retx_no);
+      }
+      continue;
+    }
+
+    const bool full_buffer =
+        static_cast<TrafficModel>(model_[i]) == TrafficModel::kFullBuffer;
+    const double cap = rate_1prb_[i] * e.prb;
+    const double tb = full_buffer ? cap : std::min(cap, backlog_bits_[i]);
+    if (tb <= 0.0) continue;
+    if (!full_buffer) backlog_bits_[i] -= tb;
+    ++harq_first_tx_;
+    const double margin = snr_db_[i] + snr_offset_db_ - threshold;
+    if (u >= p_fail(margin)) {
+      served_bits_[i] += tb;
+      ewma_add_[i] += tb;
+      last_served_tti_[i] = t;
+    } else if (config_.harq_max_retx > 0) {
+      const std::size_t slot = i * h + e.process;
+      harq_bits_[slot] = tb;
+      harq_prb_[slot] = e.prb;
+      harq_retx_[slot] = 0;
+      harq_active_[slot] = 1;
+    } else {
+      dropped_bits_[i] += tb;
+      ++harq_drops_;
+    }
+  }
+}
+
+void TrafficPlane::phase4_decay() {
+  const double alpha = config_.ewma_alpha;
+  core::parallel_for(n_ues_, [&](std::size_t i) {
+    ewma_bps_[i] = (1.0 - alpha) * ewma_bps_[i] +
+                   alpha * (ewma_add_[i] / kTtiSeconds);
+    ewma_add_[i] = 0.0;
+    if (static_cast<TrafficModel>(model_[i]) != TrafficModel::kFullBuffer)
+      backlog_sum_bits_[i] += backlog_bits_[i];
+  });
+}
+
+void TrafficPlane::run_ttis(int n) {
+  expects(n >= 0, "TrafficPlane::run_ttis: TTI count must be >= 0");
+  const std::uint64_t sched0 = scheduled_ue_ttis_;
+  const std::uint64_t retx0 = harq_retx_tx_;
+  const std::uint64_t drops0 = harq_drops_;
+  const int mbsfn0 = mbsfn_subframes_total_;
+  for (int k = 0; k < n; ++k) {
+    const std::int64_t t = tti_++;
+    phase1_arrivals_and_metrics(t);
+    phase2_allocate(t);
+    if (!last_tti_.mbsfn) phase3_transmit(t);
+    phase4_decay();
+  }
+  SKYRAN_COUNTER_ADD("traffic.ttis", n);
+  SKYRAN_COUNTER_ADD("traffic.sched.ue_ttis", scheduled_ue_ttis_ - sched0);
+  SKYRAN_COUNTER_ADD("traffic.harq.retx", harq_retx_tx_ - retx0);
+  SKYRAN_COUNTER_ADD("traffic.harq.drops", harq_drops_ - drops0);
+  SKYRAN_COUNTER_ADD("traffic.mbsfn.subframes",
+                     static_cast<std::uint64_t>(mbsfn_subframes_total_ - mbsfn0));
+}
+
+std::uint64_t TrafficPlane::state_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  hash_bytes(h, &tti_, sizeof(tti_));
+  hash_vec(h, backlog_bits_);
+  hash_vec(h, ewma_bps_);
+  hash_vec(h, burst_on_);
+  hash_vec(h, harq_bits_);
+  hash_vec(h, harq_prb_);
+  hash_vec(h, harq_retx_);
+  hash_vec(h, harq_active_);
+  hash_vec(h, offered_bits_);
+  hash_vec(h, served_bits_);
+  hash_vec(h, dropped_bits_);
+  hash_vec(h, backlog_sum_bits_);
+  hash_vec(h, last_served_tti_);
+  hash_bytes(h, &rr_cursor_, sizeof(rr_cursor_));
+  hash_bytes(h, &mcast_backlog_bits_, sizeof(mcast_backlog_bits_));
+  hash_bytes(h, &mcast_served_bits_, sizeof(mcast_served_bits_));
+  hash_bytes(h, &mbsfn_this_frame_, sizeof(mbsfn_this_frame_));
+  hash_bytes(h, &mbsfn_subframes_total_, sizeof(mbsfn_subframes_total_));
+  hash_bytes(h, &scheduled_ue_ttis_, sizeof(scheduled_ue_ttis_));
+  hash_bytes(h, &harq_first_tx_, sizeof(harq_first_tx_));
+  hash_bytes(h, &harq_retx_tx_, sizeof(harq_retx_tx_));
+  hash_bytes(h, &harq_drops_, sizeof(harq_drops_));
+  return h;
+}
+
+TrafficPlaneReport TrafficPlane::report() const {
+  TrafficPlaneReport r;
+  r.ttis = tti_;
+  r.ues = n_ues_;
+  r.scheduled_ue_ttis = scheduled_ue_ttis_;
+  r.harq_first_tx = harq_first_tx_;
+  r.harq_retx = harq_retx_tx_;
+  r.harq_drops = harq_drops_;
+  r.harq_residual_bler =
+      harq_first_tx_ > 0
+          ? static_cast<double>(harq_drops_) / static_cast<double>(harq_first_tx_)
+          : 0.0;
+  r.mbsfn_subframes = mbsfn_subframes_total_;
+  r.multicast_served_bits = mcast_served_bits_;
+  r.multicast_backlog_bits = mcast_backlog_bits_;
+  if (n_ues_ == 0 || tti_ == 0) return r;
+
+  const double duration_s = static_cast<double>(tti_) * kTtiSeconds;
+  std::vector<double> throughput(n_ues_);
+  std::vector<double> delay(n_ues_, 0.0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n_ues_; ++i) {
+    r.offered_bits += offered_bits_[i];
+    r.served_bits += served_bits_[i];
+    r.dropped_bits += dropped_bits_[i];
+    throughput[i] = served_bits_[i] / duration_s;
+    sum += throughput[i];
+    sum_sq += throughput[i] * throughput[i];
+    // Little's law: mean delay = mean backlog / arrival rate.
+    if (static_cast<TrafficModel>(model_[i]) != TrafficModel::kFullBuffer &&
+        rate_bps_[i] > 0.0)
+      delay[i] = 1e3 * (backlog_sum_bits_[i] / static_cast<double>(tti_)) /
+                 rate_bps_[i];
+  }
+  r.aggregate_throughput_bps = sum;
+  r.fairness_jain =
+      sum_sq > 0.0 ? (sum * sum) / (static_cast<double>(n_ues_) * sum_sq) : 1.0;
+  std::sort(throughput.begin(), throughput.end());
+  std::sort(delay.begin(), delay.end());
+  r.p50_throughput_bps = percentile(throughput, 0.50);
+  r.p90_throughput_bps = percentile(throughput, 0.90);
+  r.p99_throughput_bps = percentile(throughput, 0.99);
+  r.p50_delay_ms = percentile(delay, 0.50);
+  r.p90_delay_ms = percentile(delay, 0.90);
+  r.p99_delay_ms = percentile(delay, 0.99);
+  return r;
+}
+
+}  // namespace skyran::lte

@@ -73,6 +73,12 @@ void expect_well_formed(const core::EpochReport& r) {
   }
   EXPECT_GE(r.measurement_flight_m, 0.0);
   EXPECT_GE(r.measurement_rounds, 0);
+  EXPECT_EQ(r.traffic.ues, 5u);
+  EXPECT_GT(r.traffic.ttis, 0);
+  EXPECT_TRUE(std::isfinite(r.traffic.served_bits));
+  EXPECT_GE(r.traffic.served_bits, 0.0);
+  EXPECT_GE(r.traffic.fairness_jain, 0.0);
+  EXPECT_LE(r.traffic.fairness_jain, 1.0 + 1e-12);
   EXPECT_GE(r.altitude_m, 10.0);
   EXPECT_LE(r.altitude_m, 200.0);
   EXPECT_TRUE(area.contains(r.position));
@@ -97,6 +103,29 @@ void expect_reports_equal(const core::EpochReport& a, const core::EpochReport& b
   EXPECT_EQ(a.info_to_cost, b.info_to_cost);
   EXPECT_EQ(a.measurement_rounds, b.measurement_rounds);
   EXPECT_EQ(a.degraded, b.degraded);
+  // Service phase: every traffic field is bit-identical too (the plane's
+  // serial == N-worker contract, surfaced at the epoch level).
+  EXPECT_EQ(a.traffic.ttis, b.traffic.ttis);
+  EXPECT_EQ(a.traffic.ues, b.traffic.ues);
+  EXPECT_EQ(a.traffic.scheduled_ue_ttis, b.traffic.scheduled_ue_ttis);
+  EXPECT_EQ(a.traffic.offered_bits, b.traffic.offered_bits);
+  EXPECT_EQ(a.traffic.served_bits, b.traffic.served_bits);
+  EXPECT_EQ(a.traffic.dropped_bits, b.traffic.dropped_bits);
+  EXPECT_EQ(a.traffic.aggregate_throughput_bps, b.traffic.aggregate_throughput_bps);
+  EXPECT_EQ(a.traffic.fairness_jain, b.traffic.fairness_jain);
+  EXPECT_EQ(a.traffic.p50_throughput_bps, b.traffic.p50_throughput_bps);
+  EXPECT_EQ(a.traffic.p90_throughput_bps, b.traffic.p90_throughput_bps);
+  EXPECT_EQ(a.traffic.p99_throughput_bps, b.traffic.p99_throughput_bps);
+  EXPECT_EQ(a.traffic.p50_delay_ms, b.traffic.p50_delay_ms);
+  EXPECT_EQ(a.traffic.p90_delay_ms, b.traffic.p90_delay_ms);
+  EXPECT_EQ(a.traffic.p99_delay_ms, b.traffic.p99_delay_ms);
+  EXPECT_EQ(a.traffic.harq_first_tx, b.traffic.harq_first_tx);
+  EXPECT_EQ(a.traffic.harq_retx, b.traffic.harq_retx);
+  EXPECT_EQ(a.traffic.harq_drops, b.traffic.harq_drops);
+  EXPECT_EQ(a.traffic.harq_residual_bler, b.traffic.harq_residual_bler);
+  EXPECT_EQ(a.traffic.mbsfn_subframes, b.traffic.mbsfn_subframes);
+  EXPECT_EQ(a.traffic.multicast_served_bits, b.traffic.multicast_served_bits);
+  EXPECT_EQ(a.traffic.multicast_backlog_bits, b.traffic.multicast_backlog_bits);
 }
 
 sim::FaultPlan single_fault(sim::FaultKind kind, double magnitude, double start = 0.0,

@@ -2,11 +2,16 @@
 // eNodeB facade and the lightweight EPC.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <random>
+
 #include "geo/contract.hpp"
 #include "lte/amc.hpp"
 #include "lte/enodeb.hpp"
 #include "lte/epc.hpp"
 #include "lte/scheduler.hpp"
+#include "lte/traffic_plane.hpp"
 
 namespace skyran::lte {
 namespace {
@@ -255,6 +260,158 @@ TEST_P(SchedulerShare, EqualUesSplitCellEvenly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(UeCounts, SchedulerShare, ::testing::Values(1, 2, 3, 5, 7, 10));
+
+// -------------------------------------------- MAC property tests (PR 6) ----
+
+/// Regression for the O(N) linear scan state_for used to do over rates_:
+/// with 10^5 UEs a proportional-fair TTI was O(N^2) (~10^10 compares).
+/// With the rnti index map three TTIs finish in well under the bound even
+/// on a loaded single-core CI runner; the quadratic version took minutes.
+TEST(SchedulerScale, HundredThousandUesStaysSubLinearPerLookup) {
+  Scheduler sched(bandwidth_config(10.0), SchedulerPolicy::kProportionalFair);
+  std::vector<UeChannelState> ues;
+  ues.reserve(100000);
+  for (std::uint32_t i = 0; i < 100000; ++i)
+    ues.push_back({i + 1, 5.0 + static_cast<double>(i % 25), true});
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < 3; ++t) {
+    const auto alloc = sched.schedule_tti(ues);
+    ASSERT_EQ(alloc.size(), ues.size());
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(elapsed_s, 5.0);
+}
+
+TEST(SchedulerProperty, PrbConservationRandomized) {
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<double> snr(-10.0, 30.0);
+  std::bernoulli_distribution backlogged(0.7);
+  Scheduler sched(bandwidth_config(10.0), SchedulerPolicy::kProportionalFair);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<UeChannelState> ues;
+    const int n = 1 + static_cast<int>(gen() % 40);
+    for (int i = 0; i < n; ++i)
+      ues.push_back({static_cast<std::uint32_t>(i + 1), snr(gen), backlogged(gen)});
+    int total_prb = 0;
+    bool any_eligible = false;
+    for (const UeChannelState& ue : ues)
+      any_eligible = any_eligible || (ue.backlogged && snr_to_cqi(ue.snr_db) > 0);
+    for (const UeAllocation& a : sched.schedule_tti(ues)) {
+      EXPECT_GE(a.prb, 0);
+      EXPECT_TRUE(std::isfinite(a.bits));
+      EXPECT_GE(a.bits, 0.0);
+      total_prb += a.prb;
+    }
+    EXPECT_EQ(total_prb, any_eligible ? 50 : 0);
+  }
+}
+
+TEST(TrafficPlaneProperty, PrbConservationUnderSaturation) {
+  TrafficPlaneConfig cfg;
+  cfg.seed = 3;
+  TrafficPlane plane(cfg);
+  std::mt19937 gen(11);
+  std::uniform_real_distribution<double> snr(0.0, 30.0);
+  for (std::uint32_t i = 0; i < 120; ++i)
+    plane.add_ue(61 + i, snr(gen), {TrafficModel::kFullBuffer});
+  for (int t = 0; t < 100; ++t) {
+    plane.run_ttis(1);
+    const TtiDebug& d = plane.last_tti();
+    int sum = 0;
+    for (std::uint16_t p : plane.last_tti_prbs()) sum += p;
+    EXPECT_EQ(sum, d.prb_allocated);
+    EXPECT_LE(d.prb_allocated, d.prb_total);
+    // 120 backlogged UEs with usable CQIs always saturate the carrier.
+    EXPECT_EQ(d.prb_allocated, d.prb_total);
+  }
+}
+
+TEST(TrafficPlaneProperty, NoNegativeOrNanAccounting) {
+  TrafficPlaneConfig cfg;
+  cfg.seed = 5;
+  TrafficPlane plane(cfg);
+  std::mt19937 gen(13);
+  std::uniform_real_distribution<double> snr(-12.0, 32.0);
+  const TrafficModel models[] = {TrafficModel::kFullBuffer, TrafficModel::kCbr,
+                                 TrafficModel::kBurstyOnOff, TrafficModel::kVideo};
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    TrafficSpec spec;
+    spec.model = models[i % 4];
+    spec.rate_bps = 5e5 + 1e5 * static_cast<double>(i % 7);
+    plane.add_ue(61 + i, snr(gen), spec);
+  }
+  plane.run_ttis(512);
+  for (std::size_t i = 0; i < plane.ue_count(); ++i) {
+    for (double v : {plane.backlog_bits(i), plane.offered_bits(i), plane.served_bits(i),
+                     plane.dropped_bits(i), plane.average_rate_bps(i),
+                     plane.in_flight_bits(i)}) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+  const TrafficPlaneReport r = plane.report();
+  for (double v : {r.offered_bits, r.served_bits, r.dropped_bits, r.aggregate_throughput_bps,
+                   r.fairness_jain, r.p50_throughput_bps, r.p90_throughput_bps,
+                   r.p99_throughput_bps, r.p50_delay_ms, r.p90_delay_ms, r.p99_delay_ms}) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(TrafficPlaneProperty, ZeroBacklogUesGetZeroPrbs) {
+  TrafficPlaneConfig cfg;
+  cfg.seed = 9;
+  TrafficPlane plane(cfg);
+  // Even UEs carry full-buffer load; odd UEs run CBR at 0 bps (no arrivals,
+  // never any backlog) and must never be granted a PRB.
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    TrafficSpec spec;
+    spec.model = (i % 2 == 0) ? TrafficModel::kFullBuffer : TrafficModel::kCbr;
+    spec.rate_bps = 0.0;
+    plane.add_ue(61 + i, 20.0, spec);
+  }
+  for (int t = 0; t < 64; ++t) {
+    plane.run_ttis(1);
+    for (std::size_t i = 1; i < plane.ue_count(); i += 2) {
+      EXPECT_EQ(plane.last_tti_prbs()[i], 0);
+      EXPECT_EQ(plane.served_bits(i), 0.0);
+    }
+  }
+}
+
+TEST(TrafficPlaneProperty, PfStarvationBound) {
+  TrafficPlaneConfig cfg;
+  cfg.policy = SchedulerPolicy::kProportionalFair;
+  cfg.seed = 17;
+  TrafficPlane plane(cfg);
+  // 200 backlogged UEs onto 50 PRBs with a 25 dB SNR spread: PF must still
+  // serve every UE regularly (the EWMA denominator grows for whoever is
+  // served, pushing its metric down), never starving the cell-edge UEs.
+  for (std::uint32_t i = 0; i < 200; ++i)
+    plane.add_ue(61 + i, 5.0 + static_cast<double>(i % 26), {TrafficModel::kFullBuffer});
+  plane.run_ttis(1000);
+  constexpr std::int64_t kMaxGapTtis = 100;
+  for (std::size_t i = 0; i < plane.ue_count(); ++i) {
+    EXPECT_GT(plane.served_bits(i), 0.0) << "UE " << i << " starved";
+    EXPECT_GE(plane.last_served_tti(i), plane.ttis_run() - kMaxGapTtis)
+        << "UE " << i << " not served in the last " << kMaxGapTtis << " TTIs";
+  }
+}
+
+TEST(TrafficPlaneProperty, RrFairnessUnderEqualSnr) {
+  TrafficPlaneConfig cfg;
+  cfg.policy = SchedulerPolicy::kRoundRobin;
+  cfg.seed = 21;
+  cfg.target_bler = 0.0;  // no HARQ randomness: shares must be exact
+  TrafficPlane plane(cfg);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    plane.add_ue(61 + i, 18.0, {TrafficModel::kFullBuffer});
+  plane.run_ttis(1000);
+  for (std::size_t i = 1; i < plane.ue_count(); ++i)
+    EXPECT_DOUBLE_EQ(plane.served_bits(i), plane.served_bits(0));
+  EXPECT_DOUBLE_EQ(plane.report().fairness_jain, 1.0);
+}
 
 }  // namespace
 }  // namespace skyran::lte

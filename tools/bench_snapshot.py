@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Capture and check committed BENCH_*.json snapshots of the JSON-line
+micro benches (micro_parallel / micro_rem / micro_traffic).
+
+Usage:
+    some_bench | tools/bench_snapshot.py capture --out BENCH_foo.json
+    some_bench | tools/bench_snapshot.py check BENCH_foo.json
+
+`capture` wraps the bench's stdout JSON lines into one committed document.
+`check` re-validates a fresh run against the snapshot's *schema*, not its
+timings (CI machines vary too much for absolute perf gates):
+
+  - same bench name, same number of rows;
+  - per row (matched in order): identical JSON key set and identical values
+    for the identity keys (kind / scenario / round / ues / ttis);
+  - every row carrying an "equal" field — the serial-vs-parallel bit-identity
+    verdict computed inside the bench — must say true, in the snapshot and
+    in the fresh run.
+
+Exit status is non-zero on any drift, so CI fails when a bench silently
+changes shape, drops a scenario, or loses bit-identity.
+"""
+import argparse
+import json
+import sys
+
+IDENTITY_KEYS = ("bench", "kind", "scenario", "round", "ues", "ttis")
+
+
+def read_rows(stream, source):
+    rows = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line or not line.startswith("{"):
+            continue  # benches may interleave human-readable chatter
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            sys.exit(f"{source}:{lineno}: invalid JSON: {err}")
+    if not rows:
+        sys.exit(f"{source}: no JSON rows found")
+    benches = {row.get("bench") for row in rows}
+    if len(benches) != 1 or None in benches:
+        sys.exit(f"{source}: rows must all carry the same 'bench' name, got {benches}")
+    return rows
+
+
+def check_equal_flags(rows, source):
+    bad = [row for row in rows if "equal" in row and row["equal"] is not True]
+    if bad:
+        sys.exit(f"{source}: {len(bad)} row(s) report equal != true "
+                 "(serial vs parallel bit-identity broken)")
+
+
+def capture(args):
+    rows = read_rows(sys.stdin, "<stdin>")
+    check_equal_flags(rows, "<stdin>")
+    doc = {"bench": rows[0]["bench"], "schema": 1, "rows": rows}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    print(f"{args.out}: captured {len(rows)} row(s) from {doc['bench']}")
+    return 0
+
+
+def check(args):
+    with open(args.snapshot, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    snap_rows = doc.get("rows", [])
+    if not snap_rows:
+        sys.exit(f"{args.snapshot}: snapshot has no rows")
+    check_equal_flags(snap_rows, args.snapshot)
+
+    fresh = read_rows(sys.stdin, "<stdin>")
+    check_equal_flags(fresh, "<stdin>")
+    if fresh[0]["bench"] != doc.get("bench"):
+        sys.exit(f"bench name drift: snapshot {doc.get('bench')!r}, "
+                 f"fresh run {fresh[0]['bench']!r}")
+    if len(fresh) != len(snap_rows):
+        sys.exit(f"row count drift: snapshot has {len(snap_rows)}, "
+                 f"fresh run has {len(fresh)}")
+    for i, (snap, run) in enumerate(zip(snap_rows, fresh)):
+        if set(snap.keys()) != set(run.keys()):
+            missing = sorted(set(snap.keys()) - set(run.keys()))
+            added = sorted(set(run.keys()) - set(snap.keys()))
+            sys.exit(f"row {i}: key-set drift (missing {missing}, added {added})")
+        for key in IDENTITY_KEYS:
+            if key in snap and snap[key] != run[key]:
+                sys.exit(f"row {i}: identity drift on {key!r}: "
+                         f"snapshot {snap[key]!r}, fresh run {run[key]!r}")
+    print(f"{args.snapshot}: OK ({len(fresh)} row(s), schema matches, "
+          "bit-identity holds)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    cap = sub.add_parser("capture", help="write a snapshot from stdin")
+    cap.add_argument("--out", required=True)
+    chk = sub.add_parser("check", help="validate stdin against a snapshot")
+    chk.add_argument("snapshot")
+    args = parser.parse_args(argv[1:])
+    return capture(args) if args.command == "capture" else check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
