@@ -3,18 +3,34 @@
 // their own clusters. Compare worst-UE SNR and mean throughput as the
 // fleet grows.
 //
+// A SIGINT/SIGTERM between fleet sizes exits cleanly: the shared REM store
+// of the last completed fleet is persisted to $SKYRAN_CKPT_DIR/fleet_store.rem
+// when that directory is set, and telemetry is flushed when
+// SKYRAN_METRICS_OUT is set. Normal stdout stays byte-identical either way.
+//
 //   ./example_multi_uav_fleet [max_uavs] [seed]
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/multi_uav.hpp"
 #include "mobility/deployment.hpp"
+#include "sim/shutdown.hpp"
 #include "sim/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace skyran;
   const int max_uavs = argc > 1 ? std::atoi(argv[1]) : 3;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  sim::install_shutdown_handlers();
+  sim::init_metrics_from_env();
+  const char* ckpt_dir = std::getenv("SKYRAN_CKPT_DIR");
+  // Shared store of the last fleet that ran to completion; persisted on
+  // exit (normal or interrupted) so a later session can seed from it.
+  std::optional<rem::RemStore> last_store;
 
   sim::WorldConfig wc;
   wc.terrain_kind = terrain::TerrainKind::kLarge;
@@ -28,6 +44,11 @@ int main(int argc, char** argv) {
   sim::Table table({"#UAVs", "min UE SNR (dB)", "mean tput (Mbit/s)", "total flight (m)",
                     "shared store size"});
   for (int n = 1; n <= max_uavs; ++n) {
+    if (sim::shutdown_requested()) {
+      std::cerr << "shutdown requested; stopping after the " << (n - 1)
+                << "-UAV fleet\n";
+      break;
+    }
     core::MultiSkyRanConfig cfg;
     cfg.n_uavs = n;
     cfg.per_uav.measurement_budget_m = 900.0;
@@ -40,9 +61,16 @@ int main(int argc, char** argv) {
                    sim::Table::num(fleet.mean_throughput_bps() / 1e6, 1),
                    sim::Table::num(r.total_flight_m, 0),
                    std::to_string(fleet.rem_store().size())});
+    last_store = fleet.rem_store();
   }
   table.print(std::cout);
   std::cout << "\nEach UAV plans over its own cluster but reads/writes one shared REM\n"
                "store; UEs camp on the strongest cell after placement (RSRP handover).\n";
+  if (ckpt_dir != nullptr && *ckpt_dir != '\0' && last_store.has_value()) {
+    std::filesystem::create_directories(ckpt_dir);
+    std::ofstream os(std::filesystem::path(ckpt_dir) / "fleet_store.rem", std::ios::binary);
+    if (os) last_store->save(os);
+  }
+  sim::flush_metrics();
   return 0;
 }

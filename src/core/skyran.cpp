@@ -3,9 +3,13 @@
 #include <cmath>
 #include <numbers>
 
+#include <sstream>
+
+#include "core/snapshot.hpp"
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
 #include "obs/obs.hpp"
+#include "sim/crash_point.hpp"
 #include "sim/measurement.hpp"
 
 namespace skyran::core {
@@ -163,6 +167,7 @@ EpochReport SkyRan::run_epoch() {
     SKYRAN_TRACE_SPAN("epoch.localize");
     report.estimated_ue_positions = localize_ues(report);
   }
+  sim::crash_point("epoch.localize");
 
   // Step 5: operating altitude (first epoch only, Sec 3.3.1).
   const double altitude = [&] {
@@ -271,6 +276,8 @@ EpochReport SkyRan::run_epoch() {
     first_round = false;
   }
 
+  sim::crash_point("epoch.estimate");
+
   // Record the flown tours into each UE's history and refresh the store.
   for (std::size_t i = 0; i < report.estimated_ue_positions.size(); ++i) {
     rem::TrajectoryHistory& h = history_for(report.estimated_ue_positions[i]);
@@ -304,6 +311,7 @@ EpochReport SkyRan::run_epoch() {
   report.degraded = report.degraded || epoch_degraded_;
   last_estimates_ = report.estimated_ue_positions;
   epoch_time_s += reposition_m / config_.cruise_mps;
+  sim::crash_point("epoch.place");
 
   // Service phase: carry per-TTI MAC-level traffic from the placement so the
   // epoch is scored under load, not just on SNR. The plane's seed derives
@@ -331,6 +339,7 @@ EpochReport SkyRan::run_epoch() {
     SKYRAN_HISTOGRAM_OBSERVE("traffic.p50_throughput_bps", report.traffic.p50_throughput_bps);
     SKYRAN_HISTOGRAM_OBSERVE("traffic.p99_delay_ms", report.traffic.p99_delay_ms);
   }
+  sim::crash_point("epoch.serve");
 
   SKYRAN_HISTOGRAM_OBSERVE("epoch.total_flight_m", report.total_flight_m);
   SKYRAN_HISTOGRAM_OBSERVE("epoch.measurement_flight_m", report.measurement_flight_m);
@@ -360,6 +369,68 @@ double SkyRan::current_mean_throughput_bps() const {
 double SkyRan::served_performance_ratio() const {
   if (throughput_at_placement_bps_ <= 0.0) return 1.0;
   return current_mean_throughput_bps() / throughput_at_placement_bps_;
+}
+
+Snapshot SkyRan::snapshot() const {
+  SKYRAN_TRACE_SPAN("ckpt.capture");
+  Snapshot s;
+  s.seed = seed_;
+  s.config_fingerprint = config_digest(config_);
+  s.epoch = epoch_;
+  s.position = position_;
+  s.altitude_m = altitude_;
+  s.altitude_known = altitude_known_;
+  s.total_flight_m = total_flight_m_;
+  s.throughput_at_placement_bps = throughput_at_placement_bps_;
+  s.battery_remaining_wh = battery_.remaining_wh();
+  std::ostringstream rng_bytes;
+  rng_bytes << rng_;  // standard text round-trip is bit-exact
+  s.rng_state = rng_bytes.str();
+  s.last_estimates = last_estimates_;
+  s.ue_positions = world_.ue_positions();
+  s.store = store_;
+  s.history.reserve(history_.size());
+  for (const HistoryEntry& e : history_) s.history.push_back({e.position, e.trajectories});
+  return s;
+}
+
+void SkyRan::restore(const Snapshot& s) {
+  SKYRAN_TRACE_SPAN("ckpt.apply");
+  if (s.seed != seed_)
+    throw SnapshotMismatch("SkyRan::restore: snapshot seed " + std::to_string(s.seed) +
+                           " != session seed " + std::to_string(seed_));
+  if (s.config_fingerprint != config_digest(config_))
+    throw SnapshotMismatch(
+        "SkyRan::restore: snapshot was taken under a different resume-relevant config");
+  epoch_ = s.epoch;
+  position_ = s.position;
+  altitude_ = s.altitude_m;
+  altitude_known_ = s.altitude_known;
+  total_flight_m_ = s.total_flight_m;
+  throughput_at_placement_bps_ = s.throughput_at_placement_bps;
+  battery_ = uav::Battery(config_.battery);
+  battery_.restore_remaining_wh(s.battery_remaining_wh);
+  {
+    std::istringstream rng_bytes(s.rng_state);
+    rng_bytes >> rng_;
+    if (rng_bytes.fail()) throw SnapshotCorrupt("SkyRan::restore: bad RNG state");
+  }
+  last_estimates_ = s.last_estimates;
+  world_.ue_positions() = s.ue_positions;
+  store_ = s.store;
+  history_.clear();
+  history_index_ = geo::PointIndex(std::max(config_.reuse_radius_m, 1e-9));
+  for (const Snapshot::HistoryEntry& e : s.history) {
+    history_index_.insert(e.position, history_.size());
+    history_.push_back({e.position, e.trajectories});
+  }
+  // Per-epoch scratch state is rebuilt at the top of the next run_epoch.
+  bank_.reset();
+  faults_ = sim::FaultInjector();
+  battery_sag_applied_ = 0.0;
+  epoch_degraded_ = false;
+  SKYRAN_COUNTER_INC("ckpt.applied");
+  SKYRAN_GAUGE_SET("ckpt.resume_epoch", static_cast<double>(epoch_));
 }
 
 bool SkyRan::should_trigger_epoch() const {

@@ -20,6 +20,8 @@
 
 namespace skyran::core {
 
+struct Snapshot;
+
 /// Everything that happened in one epoch.
 struct EpochReport {
   int epoch = 0;
@@ -79,6 +81,18 @@ class SkyRan {
 
   /// Current per-UE REM estimates (interpolated full maps).
   std::vector<geo::Grid2D<double>> current_estimates() const;
+
+  /// Capture the full between-epoch session state (epoch counter, RNG, REM
+  /// store, trajectory histories, UAV pose/battery, last estimates, world UE
+  /// positions). Only meaningful between run_epoch() calls.
+  Snapshot snapshot() const;
+
+  /// Restore state captured by snapshot(): run_epoch() then continues the
+  /// session bit-identically to the uninterrupted run (see core/snapshot.hpp
+  /// for the resume contract). The world's UE positions are restored too.
+  /// Throws SnapshotMismatch when the snapshot's seed or resume-relevant
+  /// config fingerprint differs from this instance's.
+  void restore(const Snapshot& snapshot);
 
  private:
   std::vector<geo::Vec2> localize_ues(EpochReport& report);

@@ -1,0 +1,367 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/config.hpp"
+#include "core/skyran.hpp"
+#include "geo/binio.hpp"
+#include "obs/obs.hpp"
+#include "sim/crash_point.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace skyran::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'Y', 'S'};
+
+// FNV-1a-style byte mixer shared by the config and report digests.
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+template <typename T>
+void mix(std::uint64_t& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>, "digest fields must be trivial");
+  mix_bytes(h, &v, sizeof(T));
+}
+
+template <typename T>
+void mix_vec(std::uint64_t& h, const std::vector<T>& v) {
+  mix(h, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) mix_bytes(h, v.data(), v.size() * sizeof(T));
+}
+
+}  // namespace
+
+std::uint64_t config_digest(const SkyRanConfig& c) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, c.rem_cell_m);
+  mix(h, c.epoch_drop_threshold);
+  mix(h, c.reuse_radius_m);
+  mix(h, c.measurement_budget_m);
+  mix(h, static_cast<std::int32_t>(c.localization_mode));
+  mix(h, c.injected_error_m);
+  mix(h, c.start_altitude_m);
+  mix(h, c.min_altitude_m);
+  mix(h, c.altitude_step_m);
+  mix(h, c.cruise_mps);
+  mix(h, c.battery_reserve_fraction);
+  mix(h, c.battery.capacity_wh);
+  mix(h, c.battery.hover_power_w);
+  mix(h, c.battery.forward_power_w_per_mps);
+  mix(h, c.planner.k_min);
+  mix(h, c.planner.k_max);
+  mix(h, c.idw.k_neighbors);
+  mix(h, c.idw.power);
+  mix(h, c.idw.max_radius_m);
+  mix(h, c.idw.background_blend_m);
+  mix(h, c.localizer.flight_length_m);
+  mix(h, c.localizer.flight_leg_m);
+  mix(h, c.localizer.flight_altitude_m);
+  mix(h, c.localizer.cruise_mps);
+  mix(h, c.localizer.gps_sigma_m);
+  mix(h, c.measurement.report_rate_hz);
+  mix(h, c.measurement.fading_sigma_db);
+  mix(h, static_cast<std::int32_t>(c.objective));
+  mix(h, c.service.ttis);
+  mix(h, static_cast<std::int32_t>(c.service.ue_traffic.model));
+  mix(h, c.service.ue_traffic.rate_bps);
+  mix(h, c.faults.seed);
+  mix(h, static_cast<std::uint64_t>(c.faults.windows.size()));
+  for (const sim::FaultWindow& w : c.faults.windows) {
+    mix(h, static_cast<std::int32_t>(w.kind));
+    mix(h, w.start_s);
+    mix(h, w.end_s);
+    mix(h, w.magnitude);
+    mix(h, w.heading_rad);
+  }
+  // threads intentionally excluded: serial == N-worker bit-identity makes
+  // the worker count resume-neutral.
+  return h;
+}
+
+std::uint64_t report_digest(const EpochReport& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, r.epoch);
+  mix_vec(h, r.estimated_ue_positions);
+  mix(h, static_cast<std::uint64_t>(r.reused_rem.size()));
+  for (const bool b : r.reused_rem) mix(h, static_cast<std::uint8_t>(b));
+  mix(h, r.localization_flight_m);
+  mix(h, r.altitude_flight_m);
+  mix(h, r.measurement_flight_m);
+  mix(h, r.total_flight_m);
+  mix(h, r.flight_time_s);
+  mix(h, r.altitude_m);
+  mix(h, r.position);
+  mix(h, r.predicted_objective_snr_db);
+  mix(h, r.served_mean_throughput_bps);
+  mix(h, r.planned_k);
+  mix(h, r.info_to_cost);
+  mix(h, r.measurement_rounds);
+  const lte::TrafficPlaneReport& t = r.traffic;
+  mix(h, t.ttis);
+  mix(h, static_cast<std::uint64_t>(t.ues));
+  mix(h, t.scheduled_ue_ttis);
+  mix(h, t.offered_bits);
+  mix(h, t.served_bits);
+  mix(h, t.dropped_bits);
+  mix(h, t.aggregate_throughput_bps);
+  mix(h, t.fairness_jain);
+  mix(h, t.p50_throughput_bps);
+  mix(h, t.p90_throughput_bps);
+  mix(h, t.p99_throughput_bps);
+  mix(h, t.p50_delay_ms);
+  mix(h, t.p90_delay_ms);
+  mix(h, t.p99_delay_ms);
+  mix(h, t.harq_first_tx);
+  mix(h, t.harq_retx);
+  mix(h, t.harq_drops);
+  mix(h, t.harq_residual_bler);
+  mix(h, t.mbsfn_subframes);
+  mix(h, t.multicast_served_bits);
+  mix(h, t.multicast_backlog_bits);
+  mix(h, static_cast<std::uint8_t>(r.degraded));
+  return h;
+}
+
+void Snapshot::save(std::ostream& os) const {
+  geo::BinWriter w;
+  w.pod(seed);
+  w.pod(config_fingerprint);
+  w.pod(static_cast<std::int32_t>(epoch));
+  w.pod(position);
+  w.pod(altitude_m);
+  w.pod(static_cast<std::uint8_t>(altitude_known));
+  w.pod(total_flight_m);
+  w.pod(throughput_at_placement_bps);
+  w.pod(battery_remaining_wh);
+  w.str(rng_state);
+  w.pod(static_cast<std::uint64_t>(last_estimates.size()));
+  w.bytes(last_estimates.data(), last_estimates.size() * sizeof(geo::Vec2));
+  w.pod(static_cast<std::uint64_t>(ue_positions.size()));
+  w.bytes(ue_positions.data(), ue_positions.size() * sizeof(geo::Vec3));
+  {
+    std::ostringstream store_bytes;
+    store.save(store_bytes);
+    w.str(store_bytes.str());
+  }
+  w.pod(static_cast<std::uint64_t>(history.size()));
+  for (const HistoryEntry& e : history) {
+    w.pod(e.position);
+    w.pod(static_cast<std::uint64_t>(e.trajectories.size()));
+    for (const geo::Path& p : e.trajectories) {
+      w.pod(static_cast<std::uint64_t>(p.points().size()));
+      w.bytes(p.points().data(), p.points().size() * sizeof(geo::Vec2));
+    }
+  }
+  geo::write_envelope(os, kMagic, kVersion, w);
+  if (!os) throw SnapshotIoError("Snapshot::save: write failed");
+}
+
+Snapshot Snapshot::load(std::istream& is) {
+  geo::Envelope env;
+  try {
+    env = geo::read_envelope(is, kMagic, kVersion, kVersion, "Snapshot::load");
+  } catch (const geo::BinVersionError& e) {
+    throw SnapshotVersionSkew(e.what());
+  } catch (const geo::BinTruncatedError& e) {
+    throw SnapshotTruncated(e.what());
+  } catch (const geo::BinFormatError& e) {
+    throw SnapshotCorrupt(e.what());
+  }
+  try {
+    geo::BinReader r(env.payload);
+    Snapshot s;
+    s.seed = r.pod<std::uint64_t>();
+    s.config_fingerprint = r.pod<std::uint64_t>();
+    s.epoch = r.pod<std::int32_t>();
+    s.position = r.pod<geo::Vec2>();
+    s.altitude_m = r.pod<double>();
+    s.altitude_known = r.pod<std::uint8_t>() != 0;
+    s.total_flight_m = r.pod<double>();
+    s.throughput_at_placement_bps = r.pod<double>();
+    s.battery_remaining_wh = r.pod<double>();
+    s.rng_state = r.str();
+    s.last_estimates.resize(r.pod<std::uint64_t>());
+    for (geo::Vec2& v : s.last_estimates) v = r.pod<geo::Vec2>();
+    s.ue_positions.resize(r.pod<std::uint64_t>());
+    for (geo::Vec3& v : s.ue_positions) v = r.pod<geo::Vec3>();
+    {
+      std::istringstream store_bytes(r.str());
+      s.store = rem::RemStore::load(store_bytes);
+    }
+    const auto n_history = r.pod<std::uint64_t>();
+    s.history.reserve(n_history);
+    for (std::uint64_t i = 0; i < n_history; ++i) {
+      HistoryEntry e;
+      e.position = r.pod<geo::Vec2>();
+      const auto n_paths = r.pod<std::uint64_t>();
+      e.trajectories.reserve(n_paths);
+      for (std::uint64_t p = 0; p < n_paths; ++p) {
+        std::vector<geo::Vec2> pts(r.pod<std::uint64_t>());
+        for (geo::Vec2& v : pts) v = r.pod<geo::Vec2>();
+        e.trajectories.emplace_back(std::move(pts));
+      }
+      s.history.push_back(std::move(e));
+    }
+    if (!r.done())
+      throw SnapshotCorrupt("Snapshot::load: trailing bytes after last field");
+    return s;
+  } catch (const geo::BinFormatError& e) {
+    // The CRC passed, so an overrun here means the payload was assembled by
+    // an incompatible writer, not flipped on disk — still a corrupt reject.
+    throw SnapshotCorrupt(e.what());
+  }
+}
+
+// ---------------------------------------------------------- SnapshotManager
+
+SnapshotManager::SnapshotManager(std::filesystem::path dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(keep, 2)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw SnapshotIoError("SnapshotManager: cannot create " + dir_.string());
+}
+
+namespace {
+
+std::string generation_name(int epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%08d.skyc", epoch);
+  return buf;
+}
+
+#if !defined(_WIN32)
+/// Write `bytes` to `path` with fsync, visiting the mid-write crash point
+/// halfway through so the harness can tear the file at a byte boundary.
+void write_file_synced(const std::filesystem::path& path, const std::string& bytes) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw SnapshotIoError("SnapshotManager: cannot open " + path.string());
+  const auto write_all = [fd, &path](const char* p, std::size_t n) {
+    while (n > 0) {
+      const ssize_t w = ::write(fd, p, n);
+      if (w < 0) {
+        ::close(fd);
+        throw SnapshotIoError("SnapshotManager: write failed on " + path.string());
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  };
+  const std::size_t half = bytes.size() / 2;
+  write_all(bytes.data(), half);
+  sim::crash_point("ckpt.mid_write");
+  write_all(bytes.data() + half, bytes.size() - half);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw SnapshotIoError("SnapshotManager: fsync failed on " + path.string());
+  }
+  ::close(fd);
+}
+
+void sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse directory fds
+  ::fsync(fd);
+  ::close(fd);
+}
+#else
+void write_file_synced(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  const std::size_t half = bytes.size() / 2;
+  os.write(bytes.data(), static_cast<std::streamsize>(half));
+  sim::crash_point("ckpt.mid_write");
+  os.write(bytes.data() + half, static_cast<std::streamsize>(bytes.size() - half));
+  os.flush();
+  if (!os) throw SnapshotIoError("SnapshotManager: write failed on " + path.string());
+}
+
+void sync_directory(const std::filesystem::path&) {}
+#endif
+
+}  // namespace
+
+std::filesystem::path SnapshotManager::save(const Snapshot& snapshot) {
+  SKYRAN_TRACE_SPAN("ckpt.save");
+  std::ostringstream buf;
+  snapshot.save(buf);
+  const std::string bytes = buf.str();
+
+  const std::filesystem::path final_path = dir_ / generation_name(snapshot.epoch);
+  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+  write_file_synced(tmp_path, bytes);
+  sim::crash_point("ckpt.pre_rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec)
+    throw SnapshotIoError("SnapshotManager: rename to " + final_path.string() + " failed: " +
+                          ec.message());
+  sync_directory(dir_);
+  SKYRAN_COUNTER_INC("ckpt.saves");
+  SKYRAN_GAUGE_SET("ckpt.bytes", static_cast<double>(bytes.size()));
+  SKYRAN_GAUGE_SET("ckpt.generation", static_cast<double>(snapshot.epoch));
+
+  // Prune to the newest keep_ generations plus any stray temp files from
+  // older torn writes (never the temp we just renamed away).
+  std::vector<std::filesystem::path> gens = generations();
+  while (gens.size() > static_cast<std::size_t>(keep_)) {
+    std::filesystem::remove(gens.front(), ec);
+    gens.erase(gens.begin());
+    SKYRAN_COUNTER_INC("ckpt.pruned");
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp" && entry.path() != tmp_path)
+      std::filesystem::remove(entry.path(), ec);
+  }
+  return final_path;
+}
+
+std::vector<std::filesystem::path> SnapshotManager::generations() const {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 && entry.path().extension() == ".skyc")
+      out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());  // zero-padded epoch: lexicographic == numeric
+  return out;
+}
+
+std::optional<Snapshot> SnapshotManager::load_latest() {
+  SKYRAN_TRACE_SPAN("ckpt.restore");
+  last_errors_.clear();
+  std::vector<std::filesystem::path> gens = generations();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    std::ifstream is(*it, std::ios::binary);
+    if (!is) {
+      last_errors_.push_back(it->string() + ": cannot open");
+      SKYRAN_COUNTER_INC("ckpt.load_rejects");
+      continue;
+    }
+    try {
+      Snapshot s = Snapshot::load(is);
+      SKYRAN_COUNTER_INC("ckpt.restores");
+      if (it != gens.rbegin()) SKYRAN_COUNTER_INC("ckpt.fallbacks");
+      return s;
+    } catch (const SnapshotError& e) {
+      last_errors_.push_back(it->string() + ": " + e.what());
+      SKYRAN_COUNTER_INC("ckpt.load_rejects");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace skyran::core

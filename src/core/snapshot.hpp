@@ -1,0 +1,146 @@
+// Crash-safe checkpoint/restore for the epoch state machine. A Snapshot is
+// the full between-epoch session state — epoch counter, RNG, REM store,
+// trajectory histories, UAV pose/battery, last UE estimates, the world's UE
+// positions — serialized into one versioned, CRC-guarded binary envelope
+// (shared geo::binio format). SnapshotManager persists generations of that
+// envelope double-buffered: write-tmp -> fsync -> atomic-rename -> fsync
+// directory, retaining the previous generation, so a SIGKILL at any byte of
+// a write can never corrupt the last good checkpoint.
+//
+// Resume contract (verified by tests/test_snapshot.cpp and the kill-at-phase
+// harness in tests/test_crash_recovery.cpp): a SkyRan restored from the
+// checkpoint taken after epoch k, driven by the same deterministic campaign,
+// produces bit-identical EpochReports for epochs k+1..N to the uninterrupted
+// run — on any worker count. Stateful drivers (e.g. mobility models with
+// internal RNG) must persist their own state alongside; the snapshot covers
+// everything inside SkyRan plus the world's UE positions.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geo/path.hpp"
+#include "geo/vec.hpp"
+#include "rem/store.hpp"
+
+namespace skyran::core {
+
+struct EpochReport;
+struct SkyRanConfig;
+
+/// Base of the typed rejection taxonomy. Every reason a checkpoint cannot
+/// be used gets its own type so callers can distinguish "disk garbage" from
+/// "wrong build" from "wrong session".
+struct SnapshotError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// Stream ended early (torn write that escaped the rename discipline).
+struct SnapshotTruncated : SnapshotError {
+  using SnapshotError::SnapshotError;
+};
+/// Bad magic, CRC mismatch, or an embedded section that fails to parse.
+struct SnapshotCorrupt : SnapshotError {
+  using SnapshotError::SnapshotError;
+};
+/// Envelope is intact but written by an incompatible format version.
+struct SnapshotVersionSkew : SnapshotError {
+  using SnapshotError::SnapshotError;
+};
+/// Filesystem-level failure (open/write/fsync/rename).
+struct SnapshotIoError : SnapshotError {
+  using SnapshotError::SnapshotError;
+};
+/// Checkpoint is valid but belongs to a different session (seed or
+/// resume-relevant config differs from the restoring SkyRan's).
+struct SnapshotMismatch : SnapshotError {
+  using SnapshotError::SnapshotError;
+};
+
+/// Fingerprint of the resume-relevant SkyRanConfig fields. Restoring under
+/// a config with a different fingerprint would silently diverge from the
+/// uninterrupted run, so restore() rejects it with SnapshotMismatch.
+/// `threads` is deliberately excluded: serial == N-worker bit-identity makes
+/// the worker count resume-neutral.
+std::uint64_t config_digest(const SkyRanConfig& config);
+
+/// Order-sensitive 64-bit digest over every field of an EpochReport (bit
+/// patterns of doubles, exact integers, the full traffic report). Two
+/// reports digest equal iff they are bit-identical — the golden-replay
+/// currency of the resume contract.
+std::uint64_t report_digest(const EpochReport& report);
+
+/// The full between-epoch session state of one SkyRan.
+struct Snapshot {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t seed = 0;            ///< SkyRan construction seed
+  std::uint64_t config_fingerprint = 0;  ///< config_digest at capture time
+  int epoch = 0;                     ///< epochs completed when captured
+  geo::Vec2 position{};              ///< UAV operating position
+  double altitude_m = 0.0;
+  bool altitude_known = false;
+  double total_flight_m = 0.0;
+  double throughput_at_placement_bps = 0.0;
+  double battery_remaining_wh = 0.0;
+  std::string rng_state;             ///< mt19937_64 stream serialization
+  std::vector<geo::Vec2> last_estimates;  ///< localization fallback family
+  std::vector<geo::Vec3> ue_positions;    ///< world UE truth at capture
+  rem::RemStore store;               ///< positional-reuse REM store
+  struct HistoryEntry {
+    geo::Vec2 position;
+    std::vector<geo::Path> trajectories;
+  };
+  std::vector<HistoryEntry> history;  ///< per-position trajectory history
+
+  /// Serialize as one CRC-guarded envelope.
+  void save(std::ostream& os) const;
+
+  /// Parse + verify. Throws SnapshotTruncated / SnapshotCorrupt /
+  /// SnapshotVersionSkew; never returns a partially-filled snapshot.
+  static Snapshot load(std::istream& is);
+};
+
+/// Generation-managed, crash-safe checkpoint persistence in one directory.
+///
+/// save() writes `ckpt-<epoch>.skyc.tmp`, fsyncs it, atomically renames to
+/// `ckpt-<epoch>.skyc`, fsyncs the directory, then prunes to the newest
+/// `keep` generations. A crash at any point leaves either the previous
+/// generations untouched (tmp never renamed) or the new generation fully
+/// durable — never a half-written visible file.
+///
+/// load_latest() walks generations newest-first, returning the first one
+/// that verifies; rejected generations are recorded in last_errors() and
+/// counted under ckpt.* metrics, and the walk falls back to the previous
+/// generation.
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(std::filesystem::path dir, int keep = 2);
+
+  /// Persist `snapshot` as generation `snapshot.epoch`. Returns the final
+  /// path. Throws SnapshotIoError on filesystem failure.
+  std::filesystem::path save(const Snapshot& snapshot);
+
+  /// Newest generation that loads + verifies, or nullopt when none does.
+  std::optional<Snapshot> load_latest();
+
+  /// Generation files present, oldest first.
+  std::vector<std::filesystem::path> generations() const;
+
+  /// Human-readable reasons every generation rejected by the last
+  /// load_latest() walk was skipped.
+  const std::vector<std::string>& last_errors() const { return last_errors_; }
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  int keep_;
+  std::vector<std::string> last_errors_;
+};
+
+}  // namespace skyran::core

@@ -1,0 +1,196 @@
+// Shared binary-envelope I/O for every on-disk format in the codebase
+// (RemStore persistence, core::Snapshot checkpoints). One layout:
+//
+//   magic(4) | version(u32) | payload_size(u64) | crc32(u32) | payload
+//
+// The CRC covers the payload only; the writer buffers the payload so the
+// header can be emitted first, and the reader slurps + verifies the payload
+// before a single field is parsed. A flipped byte anywhere is rejected:
+// magic -> BinCorruptError, version -> BinVersionError, size -> truncation
+// or CRC mismatch, payload/crc -> BinCorruptError. All integers and doubles
+// are raw little-endian host representation (the project targets a single
+// ABI; doubles round-trip bit-exactly).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace skyran::geo {
+
+/// Base class for every malformed-stream rejection. Derives from
+/// std::runtime_error so pre-existing catch sites keep working.
+struct BinFormatError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The stream ended before the format said it would.
+struct BinTruncatedError : BinFormatError {
+  using BinFormatError::BinFormatError;
+};
+
+/// Magic mismatch or CRC failure: the bytes are not (or are no longer) a
+/// valid instance of the format.
+struct BinCorruptError : BinFormatError {
+  using BinFormatError::BinFormatError;
+};
+
+/// The envelope parsed but carries a version this build cannot read.
+struct BinVersionError : BinFormatError {
+  using BinFormatError::BinFormatError;
+};
+
+/// Incremental CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t s = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      s ^= p[i];
+      for (int b = 0; b < 8; ++b) s = (s >> 1) ^ (0xEDB88320u & (~(s & 1u) + 1u));
+    }
+    state_ = s;
+  }
+
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  static std::uint32_t of(std::string_view bytes) {
+    Crc32 c;
+    c.update(bytes.data(), bytes.size());
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// Payload builder: accumulates fields into a buffer so the envelope writer
+/// can prepend size + CRC.
+class BinWriter {
+ public:
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "BinWriter::pod needs a trivial type");
+    buf_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  void bytes(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  /// Length-prefixed (u64) byte string.
+  void str(std::string_view s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Payload parser over an in-memory, CRC-verified buffer. Throws
+/// BinTruncatedError on any read past the end — a prefix of a valid payload
+/// can never parse as a shorter valid one.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view payload) : p_(payload.data()), end_(p_ + payload.size()) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>, "BinReader::pod needs a trivial type");
+    if (static_cast<std::size_t>(end_ - p_) < sizeof(T))
+      throw BinTruncatedError("binio: truncated payload");
+    T v{};
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+
+  std::string str() {
+    const auto n = pod<std::uint64_t>();
+    if (static_cast<std::uint64_t>(end_ - p_) < n)
+      throw BinTruncatedError("binio: truncated payload string");
+    std::string s(p_, static_cast<std::size_t>(n));
+    p_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+/// Emit the full envelope for `payload` under `magic` (exactly 4 bytes).
+inline void write_envelope(std::ostream& os, const char magic[4], std::uint32_t version,
+                           const BinWriter& payload) {
+  os.write(magic, 4);
+  const auto write_pod = [&os](const auto& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_pod(version);
+  write_pod(static_cast<std::uint64_t>(payload.buffer().size()));
+  write_pod(Crc32::of(payload.buffer()));
+  os.write(payload.buffer().data(),
+           static_cast<std::streamsize>(payload.buffer().size()));
+}
+
+struct Envelope {
+  std::uint32_t version = 0;
+  std::string payload;
+};
+
+/// Read and verify one envelope. `context` prefixes every error message
+/// (e.g. "RemStore::load"). Versions outside [min_version, max_version]
+/// throw BinVersionError. The stream is consumed exactly through the
+/// payload; trailing bytes (e.g. an enclosing container) are left unread.
+inline Envelope read_envelope(std::istream& is, const char magic[4], std::uint32_t min_version,
+                              std::uint32_t max_version, const std::string& context) {
+  char m[4];
+  is.read(m, 4);
+  if (!is) throw BinTruncatedError(context + ": truncated header");
+  if (std::memcmp(m, magic, 4) != 0) throw BinCorruptError(context + ": bad magic");
+  const auto read_pod = [&is, &context](auto& v) {
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is) throw BinTruncatedError(context + ": truncated header");
+  };
+  std::uint32_t version = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  read_pod(version);
+  if (version < min_version || version > max_version)
+    throw BinVersionError(context + ": unsupported version " + std::to_string(version));
+  read_pod(size);
+  read_pod(crc);
+  Envelope e;
+  e.version = version;
+  // Chunked read: never pre-allocate the declared size. A corrupted size
+  // field can claim exabytes; trusting it would turn a flipped byte into
+  // std::bad_alloc instead of a typed truncation error. Memory grows only
+  // with bytes the stream actually delivers.
+  constexpr std::uint64_t kChunk = 1 << 20;
+  while (static_cast<std::uint64_t>(e.payload.size()) < size) {
+    const std::uint64_t want =
+        std::min(kChunk, size - static_cast<std::uint64_t>(e.payload.size()));
+    const std::size_t off = e.payload.size();
+    e.payload.resize(off + static_cast<std::size_t>(want));
+    is.read(e.payload.data() + off, static_cast<std::streamsize>(want));
+    if (static_cast<std::uint64_t>(is.gcount()) != want)
+      throw BinTruncatedError(context + ": truncated payload");
+  }
+  if (Crc32::of(e.payload) != crc) throw BinCorruptError(context + ": CRC mismatch");
+  return e;
+}
+
+}  // namespace skyran::geo

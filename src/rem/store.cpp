@@ -2,32 +2,22 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 
+#include "geo/binio.hpp"
 #include "geo/contract.hpp"
 #include "rem/bank.hpp"
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'K', 'Y', 'R'};
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("RemStore::load: truncated input");
-  return v;
-}
+// v1 was the bare field stream (truncation-detectable only); v2 wraps the
+// same payload in the shared geo::binio CRC envelope so any byte flip —
+// not just a short read — is rejected. v1 streams are no longer accepted.
+constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -60,65 +50,78 @@ const Rem* RemStore::find_near(geo::Vec2 position) const {
 }
 
 void RemStore::save(std::ostream& os) const {
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, reuse_radius_m_);
-  write_pod(os, static_cast<std::uint32_t>(entries_.size()));
+  geo::BinWriter w;
+  w.pod(reuse_radius_m_);
+  w.pod(static_cast<std::uint32_t>(entries_.size()));
   for (const Rem& r : entries_) {
-    write_pod(os, r.area().min.x);
-    write_pod(os, r.area().min.y);
-    write_pod(os, r.area().max.x);
-    write_pod(os, r.area().max.y);
-    write_pod(os, r.cell_size());
-    write_pod(os, r.altitude_m());
-    write_pod(os, r.ue_position().x);
-    write_pod(os, r.ue_position().y);
-    write_pod(os, r.ue_position().z);
-    write_pod(os, static_cast<std::uint32_t>(r.measured_cells()));
+    w.pod(r.area().min.x);
+    w.pod(r.area().min.y);
+    w.pod(r.area().max.x);
+    w.pod(r.area().max.y);
+    w.pod(r.cell_size());
+    w.pod(r.altitude_m());
+    w.pod(r.ue_position().x);
+    w.pod(r.ue_position().y);
+    w.pod(r.ue_position().z);
+    w.pod(static_cast<std::uint32_t>(r.measured_cells()));
     const auto& grid = r.background();  // geometry reference
     grid.for_each([&](geo::CellIndex c, const double&) {
       const int n = r.measurement_count(c);
       if (n == 0) return;
-      write_pod(os, static_cast<std::int32_t>(c.ix));
-      write_pod(os, static_cast<std::int32_t>(c.iy));
-      write_pod(os, *r.measured_snr(c) * n);  // sum
-      write_pod(os, static_cast<std::int32_t>(n));
+      w.pod(static_cast<std::int32_t>(c.ix));
+      w.pod(static_cast<std::int32_t>(c.iy));
+      w.pod(*r.measured_snr(c) * n);  // sum
+      w.pod(static_cast<std::int32_t>(n));
     });
+    // Background raster + provenance (new in v2). v1 dropped these, which
+    // made a reloaded store seed the next epoch's REMs from a different
+    // fallback than the live store — fatal for bit-identical resume.
+    w.pod(static_cast<std::uint8_t>(r.background_source()));
+    if (r.has_background())
+      grid.for_each([&](geo::CellIndex, const double& v) { w.pod(v); });
   }
+  geo::write_envelope(os, kMagic, kVersion, w);
   if (!os) throw std::runtime_error("RemStore::save: write failed");
 }
 
 RemStore RemStore::load(std::istream& is) {
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("RemStore::load: bad magic");
-  if (read_pod<std::uint32_t>(is) != kVersion)
-    throw std::runtime_error("RemStore::load: unsupported version");
-  RemStore store(read_pod<double>(is));
-  const auto n_entries = read_pod<std::uint32_t>(is);
+  const geo::Envelope env = geo::read_envelope(is, kMagic, kVersion, kVersion, "RemStore::load");
+  geo::BinReader r(env.payload);
+  RemStore store(r.pod<double>());
+  const auto n_entries = r.pod<std::uint32_t>();
   for (std::uint32_t e = 0; e < n_entries; ++e) {
-    const double min_x = read_pod<double>(is);
-    const double min_y = read_pod<double>(is);
-    const double max_x = read_pod<double>(is);
-    const double max_y = read_pod<double>(is);
-    const double cell = read_pod<double>(is);
-    const double altitude = read_pod<double>(is);
-    const double ux = read_pod<double>(is);
-    const double uy = read_pod<double>(is);
-    const double uz = read_pod<double>(is);
-    const auto n_cells = read_pod<std::uint32_t>(is);
+    const double min_x = r.pod<double>();
+    const double min_y = r.pod<double>();
+    const double max_x = r.pod<double>();
+    const double max_y = r.pod<double>();
+    const double cell = r.pod<double>();
+    const double altitude = r.pod<double>();
+    const double ux = r.pod<double>();
+    const double uy = r.pod<double>();
+    const double uz = r.pod<double>();
+    const auto n_cells = r.pod<std::uint32_t>();
     Rem rem(geo::Rect{{min_x, min_y}, {max_x, max_y}}, cell, altitude, {ux, uy, uz});
     for (std::uint32_t i = 0; i < n_cells; ++i) {
-      const auto ix = read_pod<std::int32_t>(is);
-      const auto iy = read_pod<std::int32_t>(is);
-      const double sum = read_pod<double>(is);
-      const auto count = read_pod<std::int32_t>(is);
+      const auto ix = r.pod<std::int32_t>();
+      const auto iy = r.pod<std::int32_t>();
+      const double sum = r.pod<double>();
+      const auto count = r.pod<std::int32_t>();
       rem.restore_measurement({ix, iy}, sum, count);
+    }
+    const auto source_raw = r.pod<std::uint8_t>();
+    if (source_raw > static_cast<std::uint8_t>(Rem::BackgroundSource::kPrior))
+      throw geo::BinCorruptError("RemStore::load: bad background source tag");
+    const auto source = static_cast<Rem::BackgroundSource>(source_raw);
+    if (source != Rem::BackgroundSource::kNone) {
+      geo::Grid2D<double> background(rem.area(), rem.cell_size());
+      background.for_each([&](geo::CellIndex, double& v) { v = r.pod<double>(); });
+      rem.restore_background(background, source);
     }
     store.index_.insert(rem.ue_position().xy(), store.entries_.size());
     store.entries_.push_back(std::move(rem));
   }
+  if (!r.done())
+    throw geo::BinCorruptError("RemStore::load: trailing bytes after last entry");
   return store;
 }
 

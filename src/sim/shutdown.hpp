@@ -1,0 +1,52 @@
+// Graceful-shutdown support for long-running drivers (examples, campaign
+// tools). A SIGINT/SIGTERM only sets an async-signal-safe flag; the driver
+// polls `shutdown_requested()` at its epoch boundaries and performs the
+// orderly exit itself — write a final checkpoint, flush telemetry — instead
+// of dying mid-state with everything lost.
+#pragma once
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace skyran::sim {
+
+namespace detail {
+inline volatile std::sig_atomic_t g_shutdown_flag = 0;
+inline void shutdown_signal_handler(int) { g_shutdown_flag = 1; }
+}  // namespace detail
+
+/// Route SIGINT and SIGTERM to the shutdown flag. Call once at startup.
+inline void install_shutdown_handlers() {
+  std::signal(SIGINT, detail::shutdown_signal_handler);
+  std::signal(SIGTERM, detail::shutdown_signal_handler);
+}
+
+/// True once a SIGINT/SIGTERM has arrived. Poll between epochs.
+inline bool shutdown_requested() { return detail::g_shutdown_flag != 0; }
+
+/// For tests: reset the flag as if no signal had arrived.
+inline void reset_shutdown_flag() { detail::g_shutdown_flag = 0; }
+
+/// Turn telemetry on when SKYRAN_METRICS_OUT names a file (same contract as
+/// the bench binaries). Returns true when enabled.
+inline bool init_metrics_from_env() {
+  if (std::getenv("SKYRAN_METRICS_OUT") == nullptr) return false;
+  obs::set_enabled(true);
+  return true;
+}
+
+/// Flush accumulated telemetry to $SKYRAN_METRICS_OUT (JSON lines) if set.
+/// Safe to call unconditionally and more than once (last write wins).
+inline void flush_metrics() {
+  const char* path = std::getenv("SKYRAN_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path);
+  if (os) obs::write_json_lines(os);
+}
+
+}  // namespace skyran::sim

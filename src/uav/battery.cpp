@@ -27,6 +27,11 @@ void Battery::deplete_wh(double wh) {
   remaining_wh_ = std::max(0.0, remaining_wh_ - wh);
 }
 
+void Battery::restore_remaining_wh(double wh) {
+  expects(wh >= 0.0, "Battery::restore_remaining_wh: energy must be >= 0");
+  remaining_wh_ = std::min(wh, params_.capacity_wh);
+}
+
 double Battery::remaining_fraction() const { return remaining_wh_ / params_.capacity_wh; }
 
 double Battery::hover_endurance_s() const {

@@ -22,6 +22,10 @@ class Battery {
   /// at empty.
   void deplete_wh(double wh);
 
+  /// Set the remaining charge verbatim (checkpoint restore), clamped to
+  /// [0, capacity].
+  void restore_remaining_wh(double wh);
+
   double capacity_wh() const { return params_.capacity_wh; }
   double remaining_wh() const { return remaining_wh_; }
   double remaining_fraction() const;

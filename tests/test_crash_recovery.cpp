@@ -1,0 +1,207 @@
+// Kill-at-phase crash-recovery harness. For every crash point — the four
+// run_epoch phase boundaries plus mid-checkpoint-write and pre-rename — a
+// forked child runs the checkpointed campaign and SIGKILLs itself at the
+// armed point; a second forked child restores from whatever generation
+// survived and finishes the campaign. The parent stitches the pre-crash
+// digests (up to the resumed epoch) with the post-resume digests and
+// requires bit-identity with an uninterrupted reference run.
+//
+// Fork discipline: the parent is a pure orchestrator — it never runs an
+// epoch, so no thread-pool threads exist at fork time. All campaign work
+// happens in children, which build their own pools and leave via _exit()
+// (or SIGKILL). This binary is intentionally separate from test_snapshot:
+// fork+threads is off-limits under TSan, so CI runs it under ASan/UBSan
+// only (see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/skyran.hpp"
+#include "core/snapshot.hpp"
+#include "sim/crash_point.hpp"
+#include "snapshot_campaign.hpp"
+
+namespace {
+
+using namespace skyran;
+namespace fs = std::filesystem;
+
+constexpr int kEpochs = 4;
+constexpr int kThreads = 2;  // children exercise fork -> fresh pool
+constexpr int kCrashHit = 3; // third visit: mid-campaign, not the first epoch
+
+// Child exit codes (children cannot use gtest assertions meaningfully).
+constexpr int kChildOk = 0;
+constexpr int kChildNoCheckpoint = 11;
+constexpr int kChildSurvivedCrash = 12;
+
+struct CrashCase {
+  const char* point;
+  bool mid_epoch;  // true: the crashed epoch's digest is NOT in crash.txt
+};
+
+std::string case_name(const testing::TestParamInfo<CrashCase>& info) {
+  std::string n = info.param.point;
+  for (char& c : n)
+    if (c == '.') c = '_';
+  return n;
+}
+
+/// Append one digest line and push it to the kernel: the writer may be
+/// SIGKILLed at any later instant, and the parent must still see the line.
+void write_digest_line(std::ofstream& os, std::uint64_t digest) {
+  os << digest << '\n';
+  os.flush();
+}
+
+std::vector<std::uint64_t> read_digest_file(const fs::path& p) {
+  std::vector<std::uint64_t> out;
+  std::ifstream is(p);
+  std::uint64_t d = 0;
+  while (is >> d) out.push_back(d);
+  return out;
+}
+
+/// Uninterrupted reference campaign; digests to `out`, exits 0.
+[[noreturn]] void child_reference(const fs::path& out) {
+  sim::World world(testcampaign::world_config());
+  core::SkyRan skyran(world, testcampaign::skyran_config(kThreads), testcampaign::kCampaignSeed);
+  std::ofstream os(out);
+  testcampaign::run_epochs(skyran, world, kEpochs, nullptr,
+                           [&](int, std::uint64_t d) { write_digest_line(os, d); });
+  _exit(kChildOk);
+}
+
+/// Checkpointed campaign with an armed crash point. Never returns normally:
+/// either SIGKILL fires at the armed point (expected) or the campaign
+/// finishes, which means the crash point never triggered — report that.
+[[noreturn]] void child_crasher(const fs::path& ckpt_dir, const fs::path& out,
+                                const char* point) {
+  sim::arm_crash_point(point, kCrashHit);
+  sim::World world(testcampaign::world_config());
+  core::SkyRan skyran(world, testcampaign::skyran_config(kThreads), testcampaign::kCampaignSeed);
+  core::SnapshotManager manager(ckpt_dir, 2);
+  std::ofstream os(out);
+  testcampaign::run_epochs(skyran, world, kEpochs, &manager,
+                           [&](int, std::uint64_t d) { write_digest_line(os, d); });
+  _exit(kChildSurvivedCrash);
+}
+
+/// Restore from the surviving generation and finish the campaign. First
+/// line of `out` is the epoch resumed from; the rest are resume digests.
+[[noreturn]] void child_resumer(const fs::path& ckpt_dir, const fs::path& out) {
+  core::SnapshotManager manager(ckpt_dir, 2);
+  const auto snap = manager.load_latest();
+  if (!snap.has_value()) _exit(kChildNoCheckpoint);
+  sim::World world(testcampaign::world_config());
+  core::SkyRan skyran(world, testcampaign::skyran_config(kThreads), testcampaign::kCampaignSeed);
+  skyran.restore(*snap);
+  std::ofstream os(out);
+  os << "resumed_from " << snap->epoch << '\n';
+  os.flush();
+  testcampaign::run_epochs(skyran, world, kEpochs, &manager,
+                           [&](int, std::uint64_t d) { write_digest_line(os, d); });
+  _exit(kChildOk);
+}
+
+/// Fork `body`; return the raw waitpid status.
+template <typename Body>
+int run_child(Body&& body) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    body();            // [[noreturn]] paths only
+    _exit(kChildOk);   // unreachable; silences -Wreturn-type style concerns
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+class CrashRecoveryTest : public testing::TestWithParam<CrashCase> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("skyran_crash_" + case_name({GetParam(), 0}) + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "ckpt");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_P(CrashRecoveryTest, KillAtPointResumesBitIdentical) {
+  const CrashCase c = GetParam();
+  const fs::path ref_file = dir_ / "ref.txt";
+  const fs::path crash_file = dir_ / "crash.txt";
+  const fs::path resume_file = dir_ / "resume.txt";
+  const fs::path ckpt_dir = dir_ / "ckpt";
+
+  // Reference: uninterrupted run.
+  const int ref_status = run_child([&] { child_reference(ref_file); });
+  ASSERT_TRUE(WIFEXITED(ref_status)) << "reference child did not exit cleanly";
+  ASSERT_EQ(WEXITSTATUS(ref_status), kChildOk);
+  const std::vector<std::uint64_t> ref = read_digest_file(ref_file);
+  ASSERT_EQ(ref.size(), static_cast<std::size_t>(kEpochs));
+
+  // Crash: the armed point must SIGKILL the child, not let it finish.
+  const int crash_status = run_child([&] { child_crasher(ckpt_dir, crash_file, c.point); });
+  ASSERT_TRUE(WIFSIGNALED(crash_status))
+      << "crash child exited with status "
+      << (WIFEXITED(crash_status) ? WEXITSTATUS(crash_status) : -1)
+      << " instead of dying at " << c.point;
+  ASSERT_EQ(WTERMSIG(crash_status), SIGKILL);
+
+  // The crashed run made real progress before dying: with hit=3, a
+  // mid-epoch kill leaves digests 1..2 behind; a checkpoint-write kill
+  // leaves 1..3 (epoch 3 completed, its checkpoint did not).
+  const std::vector<std::uint64_t> pre_crash = read_digest_file(crash_file);
+  ASSERT_EQ(pre_crash.size(), static_cast<std::size_t>(c.mid_epoch ? kCrashHit - 1 : kCrashHit));
+
+  // Resume: fall back to the newest *valid* generation and finish.
+  const int resume_status = run_child([&] { child_resumer(ckpt_dir, resume_file); });
+  ASSERT_TRUE(WIFEXITED(resume_status)) << "resume child crashed";
+  ASSERT_EQ(WEXITSTATUS(resume_status), kChildOk)
+      << (WEXITSTATUS(resume_status) == kChildNoCheckpoint
+              ? "no valid checkpoint generation survived the crash"
+              : "resume child failed");
+
+  std::ifstream rs(resume_file);
+  std::string tag;
+  int resumed_from = -1;
+  ASSERT_TRUE(rs >> tag >> resumed_from);
+  ASSERT_EQ(tag, "resumed_from");
+  // Every case kills at the third visit, after epoch 2's checkpoint landed
+  // and before epoch 3's did — the surviving generation is always epoch 2.
+  ASSERT_EQ(resumed_from, 2);
+
+  std::vector<std::uint64_t> resumed;
+  std::uint64_t d = 0;
+  while (rs >> d) resumed.push_back(d);
+  ASSERT_EQ(resumed.size(), static_cast<std::size_t>(kEpochs - resumed_from));
+
+  // Stitch: pre-crash digests up to the resumed epoch, then the resume run.
+  // (After a checkpoint-write kill, crash.txt holds one MORE digest than
+  // the surviving checkpoint covers — stitching must honor resumed_from.)
+  std::vector<std::uint64_t> stitched(pre_crash.begin(),
+                                      pre_crash.begin() + resumed_from);
+  stitched.insert(stitched.end(), resumed.begin(), resumed.end());
+  EXPECT_EQ(stitched, ref) << "resumed campaign diverged from the uninterrupted run";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, CrashRecoveryTest,
+    testing::Values(CrashCase{"epoch.localize", true}, CrashCase{"epoch.estimate", true},
+                    CrashCase{"epoch.place", true}, CrashCase{"epoch.serve", true},
+                    CrashCase{"ckpt.mid_write", false}, CrashCase{"ckpt.pre_rename", false}),
+    case_name);
+
+}  // namespace

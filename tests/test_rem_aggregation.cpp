@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/skyran.hpp"
+#include "geo/binio.hpp"
 #include "mobility/deployment.hpp"
 #include "rem/idw.hpp"
 #include "rem/rem.hpp"
@@ -135,8 +136,14 @@ rem::RemStore random_store(std::mt19937_64& rng) {
   std::uniform_real_distribution<double> coord(0.0, side);
   std::uniform_real_distribution<double> snr(-60.0, 40.0);
   const geo::Rect area = geo::Rect::square(side);
+  const rf::FsplChannel fspl(2.6e9);
+  const rf::LinkBudget budget;
   for (int e = n_entries(rng); e > 0; --e) {
     rem::Rem r(area, cell, alt, {coord(rng), coord(rng), 1.5});
+    // Roughly half the entries carry a model-seeded background raster, the
+    // way store entries produced by a real epoch do (extract_rem keeps the
+    // seeding); the rest stay background-free.
+    if (rng() % 2 == 0) r.seed_from_model(fspl, budget);
     for (int m = n_meas(rng); m > 0; --m) r.add_measurement({coord(rng), coord(rng)}, snr(rng));
     store.put(std::move(r));
   }
@@ -156,6 +163,11 @@ TEST(StorePersistenceTest, RandomizedRoundTripPreservesEveryField) {
       const rem::Rem& a = store.entries()[i];
       const rem::Rem& b = loaded.entries()[i];
       ASSERT_TRUE(a.background().same_geometry(b.background()));
+      ASSERT_EQ(b.background_source(), a.background_source());
+      if (a.has_background())
+        a.background().for_each([&](geo::CellIndex c, const double& v) {
+          EXPECT_EQ(b.background().at(c), v);  // bit-exact raster round-trip
+        });
       EXPECT_EQ(b.measured_cells(), a.measured_cells());
       EXPECT_EQ(b.altitude_m(), a.altitude_m());
       EXPECT_EQ(b.ue_position().x, a.ue_position().x);
@@ -206,12 +218,62 @@ TEST(StorePersistenceTest, TruncatedStreamRejectedAtEveryLength) {
     std::stringstream cut(bytes.substr(0, len));
     EXPECT_THROW(rem::RemStore::load(cut), std::runtime_error) << "prefix length " << len;
   }
-  // Flipping the magic or version bytes must also be rejected.
-  for (const std::size_t pos : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
-    std::string bad = bytes;
-    bad[pos] = static_cast<char>(bad[pos] ^ 0x5a);
-    std::stringstream corrupt(bad);
-    EXPECT_THROW(rem::RemStore::load(corrupt), std::runtime_error) << "flip at " << pos;
+}
+
+TEST(StorePersistenceTest, EveryByteFlipAnywhereInStreamRejected) {
+  // The CRC envelope (shared with core::Snapshot via geo/binio.hpp) makes
+  // single-byte corruption detectable ANYWHERE in the stream, not just in
+  // the header: magic/version flips fail structurally, size-field flips
+  // fail as truncation or CRC mismatch, payload and CRC flips fail the
+  // checksum. Exhaustive over every position, with a couple of flip masks.
+  const rem::RemStore store = [&] {
+    rem::RemStore s(8.0);
+    rem::Rem r(area100(), 10.0, 50.0, {20.0, 20.0, 1.5});
+    r.add_measurement({15.0, 15.0}, 3.0);
+    r.add_measurement({85.0, 85.0}, -7.0);
+    s.put(std::move(r));
+    return s;
+  }();
+  std::stringstream full;
+  store.save(full);
+  const std::string bytes = full.str();
+  for (const unsigned char mask : {0x5a, 0x01, 0x80}) {
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+      std::stringstream corrupt(bad);
+      EXPECT_THROW(rem::RemStore::load(corrupt), geo::BinFormatError)
+          << "flip at " << pos << " mask " << int(mask);
+    }
+  }
+}
+
+TEST(StorePersistenceTest, RejectionErrorsAreTyped) {
+  const rem::RemStore store = [&] {
+    rem::RemStore s(8.0);
+    rem::Rem r(area100(), 10.0, 50.0, {20.0, 20.0, 1.5});
+    r.add_measurement({15.0, 15.0}, 3.0);
+    s.put(std::move(r));
+    return s;
+  }();
+  std::stringstream full;
+  store.save(full);
+  const std::string bytes = full.str();
+  {
+    std::stringstream bad(bytes.substr(0, bytes.size() - 3));
+    EXPECT_THROW(rem::RemStore::load(bad), geo::BinTruncatedError);
+  }
+  {
+    std::string v = bytes;
+    v[4] = static_cast<char>(v[4] ^ 0x10);  // version field
+    std::stringstream bad(v);
+    EXPECT_THROW(rem::RemStore::load(bad), geo::BinVersionError);
+  }
+  {
+    std::string p = bytes;
+    p[bytes.size() - 2] = static_cast<char>(p[bytes.size() - 2] ^ 0x5a);  // payload
+    std::stringstream bad(p);
+    EXPECT_THROW(rem::RemStore::load(bad), geo::BinCorruptError);
   }
 }
 

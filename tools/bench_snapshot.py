@@ -5,6 +5,7 @@ micro benches (micro_parallel / micro_rem / micro_traffic).
 Usage:
     some_bench | tools/bench_snapshot.py capture --out BENCH_foo.json
     some_bench | tools/bench_snapshot.py check BENCH_foo.json
+    tools/bench_snapshot.py audit [--repo DIR] [BENCH_foo.json ...]
 
 `capture` wraps the bench's stdout JSON lines into one committed document.
 `check` re-validates a fresh run against the snapshot's *schema*, not its
@@ -17,11 +18,18 @@ timings (CI machines vary too much for absolute perf gates):
     verdict computed inside the bench — must say true, in the snapshot and
     in the fresh run.
 
+`audit` cross-checks committed snapshots against the bench sources: every
+BENCH_*.json must name a bench whose bench/<name>.cpp still exists, so a
+deleted or renamed bench fails CI loudly instead of leaving a stale
+snapshot that "passes" because nothing runs against it anymore.
+
 Exit status is non-zero on any drift, so CI fails when a bench silently
 changes shape, drops a scenario, or loses bit-identity.
 """
 import argparse
+import glob
 import json
+import os
 import sys
 
 IDENTITY_KEYS = ("bench", "kind", "scenario", "round", "ues", "ttis")
@@ -93,6 +101,35 @@ def check(args):
     return 0
 
 
+def audit(args):
+    repo = args.repo
+    snapshots = args.snapshots or sorted(glob.glob(os.path.join(repo, "BENCH_*.json")))
+    if not snapshots:
+        sys.exit(f"audit: no BENCH_*.json snapshots found under {repo!r}")
+    failures = []
+    for path in snapshots:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"{path}: unreadable snapshot: {err}")
+            continue
+        bench = doc.get("bench")
+        if not bench:
+            failures.append(f"{path}: snapshot carries no 'bench' name")
+            continue
+        source = os.path.join(repo, "bench", f"{bench}.cpp")
+        if not os.path.exists(source):
+            failures.append(
+                f"{path}: names bench {bench!r} but {source} does not exist — "
+                "the bench was deleted or renamed; delete the stale snapshot "
+                "or re-capture it from the renamed bench")
+    if failures:
+        sys.exit("\n".join(failures))
+    print(f"audit: {len(snapshots)} snapshot(s) all map to existing bench sources")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -100,8 +137,15 @@ def main(argv):
     cap.add_argument("--out", required=True)
     chk = sub.add_parser("check", help="validate stdin against a snapshot")
     chk.add_argument("snapshot")
+    aud = sub.add_parser("audit", help="verify snapshots name existing benches")
+    aud.add_argument("--repo", default=".", help="repository root (default: cwd)")
+    aud.add_argument("snapshots", nargs="*", help="explicit snapshot paths")
     args = parser.parse_args(argv[1:])
-    return capture(args) if args.command == "capture" else check(args)
+    if args.command == "capture":
+        return capture(args)
+    if args.command == "audit":
+        return audit(args)
+    return check(args)
 
 
 if __name__ == "__main__":
