@@ -1,75 +1,102 @@
-// Multi-UAV fleet (the paper's Sec 7-8 extension): several SkyRAN UAVs
-// partition the UEs of a 1 km township, share one REM store, and serve
-// their own clusters. Compare worst-UE SNR and mean throughput as the
-// fleet grows.
+// Multi-UAV fleet (the paper's Sec 7-8 extension), now on fleet::Fleet:
+// three UAV cells share one co-channel carrier over a 1 km township, UEs
+// attach to the strongest CIO-biased cell each epoch, a commuter UE marches
+// between coverage areas (its A3 handovers show up in the table), and the
+// closed steering loop drains a morning hot spot by walking CIOs.
 //
-// A SIGINT/SIGTERM between fleet sizes exits cleanly: the shared REM store
-// of the last completed fleet is persisted to $SKYRAN_CKPT_DIR/fleet_store.rem
-// when that directory is set, and telemetry is flushed when
-// SKYRAN_METRICS_OUT is set. Normal stdout stays byte-identical either way.
+// This replaces the old MultiSkyRan demo, which statically partitioned the
+// UEs into per-UAV clusters at epoch 0 and never re-attached them — a UE
+// that walked away from its cluster stayed camped on a cell it could barely
+// hear, and no handover was ever visible. The fleet layer re-evaluates
+// attachment every epoch (measure -> A3 decide -> apply), so the same
+// commuter now hands over, deterministically, mid-run.
 //
-//   ./example_multi_uav_fleet [max_uavs] [seed]
+// A SIGINT/SIGTERM between epochs exits cleanly: the fleet's dynamic state
+// is persisted to $SKYRAN_CKPT_DIR/fleet_state.bin when that directory is
+// set (restorable via fleet::Fleet::restore into an identically built
+// fleet), and telemetry is flushed when SKYRAN_METRICS_OUT is set. Normal
+// stdout stays byte-identical either way.
+//
+//   ./example_multi_uav_fleet [epochs] [seed]
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <optional>
 
-#include "core/multi_uav.hpp"
-#include "mobility/deployment.hpp"
+#include "fleet/fleet.hpp"
+#include "rf/channel.hpp"
 #include "sim/shutdown.hpp"
 #include "sim/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace skyran;
-  const int max_uavs = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 16;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
 
   sim::install_shutdown_handlers();
   sim::init_metrics_from_env();
   const char* ckpt_dir = std::getenv("SKYRAN_CKPT_DIR");
-  // Shared store of the last fleet that ran to completion; persisted on
-  // exit (normal or interrupted) so a later session can seed from it.
-  std::optional<rem::RemStore> last_store;
 
-  sim::WorldConfig wc;
-  wc.terrain_kind = terrain::TerrainKind::kLarge;
-  wc.seed = seed;
-  wc.cell_size_m = 4.0;
-  sim::World world(wc);
-  world.ue_positions() = mobility::deploy_clustered(world.terrain(), 12, 3, 50.0, seed + 1);
+  const rf::FsplChannel fspl(2.6e9);
+  fleet::FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.ttis_per_epoch = 100;
+  cfg.steering.period_epochs = 1;
+  cfg.steering.step_db = 0.5;
+  cfg.a3.time_to_trigger_epochs = 2;
+  fleet::Fleet fleet(cfg, fspl);
 
-  std::cout << "Fleet study: 12 UEs in 3 pockets across a 1 km township\n";
+  // Three UAV cells along the township's main axis.
+  fleet.add_cell({200.0, 500.0, 60.0});
+  fleet.add_cell({500.0, 500.0, 60.0});
+  fleet.add_cell({800.0, 500.0, 60.0});
 
-  sim::Table table({"#UAVs", "min UE SNR (dB)", "mean tput (Mbit/s)", "total flight (m)",
-                    "shared store size"});
-  for (int n = 1; n <= max_uavs; ++n) {
+  lte::TrafficSpec cbr;
+  cbr.model = lte::TrafficModel::kCbr;
+  // Morning hot spot: a dense pocket under cell 0.
+  cbr.rate_bps = 0.55e6;
+  for (int i = 0; i < 18; ++i)
+    fleet.add_ue({190.0 + 8.0 * i, 440.0 + 7.0 * i, 1.5}, cbr);
+  // Background users under cells 1 and 2.
+  cbr.rate_bps = 1e5;
+  for (int i = 0; i < 5; ++i) fleet.add_ue({470.0 + 15.0 * i, 530.0, 1.5}, cbr);
+  for (int i = 0; i < 5; ++i) fleet.add_ue({770.0 + 15.0 * i, 460.0, 1.5}, cbr);
+  // The commuter: walks from cell 0's pocket to cell 2's, 70 m per epoch.
+  const std::size_t commuter = fleet.add_ue({180.0, 500.0, 1.5}, cbr);
+
+  std::cout << "Fleet: 3 UAV cells, 29 UEs, one commuter crossing the township\n";
+
+  sim::Table table({"epoch", "commuter cell", "HOs", "util c0/c1/c2", "CIO c0/c1/c2 (dB)",
+                    "mean SINR (dB)"});
+  for (int e = 1; e <= epochs; ++e) {
     if (sim::shutdown_requested()) {
-      std::cerr << "shutdown requested; stopping after the " << (n - 1)
-                << "-UAV fleet\n";
+      std::cerr << "shutdown requested; stopping after epoch " << (e - 1) << "\n";
       break;
     }
-    core::MultiSkyRanConfig cfg;
-    cfg.n_uavs = n;
-    cfg.per_uav.measurement_budget_m = 900.0;
-    cfg.per_uav.rem_cell_m = 12.0;
-    cfg.per_uav.localization_mode = core::LocalizationMode::kGaussianError;
-    cfg.per_uav.injected_error_m = 8.0;
-    core::MultiSkyRan fleet(world, cfg, seed + 2);
-    const core::MultiEpochReport r = fleet.run_epoch();
-    table.add_row({std::to_string(n), sim::Table::num(fleet.min_snr_db(), 1),
-                   sim::Table::num(fleet.mean_throughput_bps() / 1e6, 1),
-                   sim::Table::num(r.total_flight_m, 0),
-                   std::to_string(fleet.rem_store().size())});
-    last_store = fleet.rem_store();
+    fleet.set_ue_position(commuter, {180.0 + 70.0 * (e - 1), 500.0, 1.5});
+    const fleet::FleetEpochReport r = fleet.run_epoch();
+    table.add_row({std::to_string(e), std::to_string(fleet.serving_cell(commuter)),
+                   std::to_string(r.ho_successes),
+                   sim::Table::num(r.cell_prb_util[0], 2) + "/" +
+                       sim::Table::num(r.cell_prb_util[1], 2) + "/" +
+                       sim::Table::num(r.cell_prb_util[2], 2),
+                   sim::Table::num(fleet.cio_db(0), 1) + "/" +
+                       sim::Table::num(fleet.cio_db(1), 1) + "/" +
+                       sim::Table::num(fleet.cio_db(2), 1),
+                   sim::Table::num(r.mean_sinr_db, 1)});
   }
   table.print(std::cout);
-  std::cout << "\nEach UAV plans over its own cluster but reads/writes one shared REM\n"
-               "store; UEs camp on the strongest cell after placement (RSRP handover).\n";
-  if (ckpt_dir != nullptr && *ckpt_dir != '\0' && last_store.has_value()) {
+  std::cout << "\nHandovers are A3 events (neighbor RSRP + CIO beats serving by offset +\n"
+               "hysteresis for TTT epochs); the steering loop biases CIOs toward the\n"
+               "least-loaded cell, draining the morning hot spot under cell 0.\n"
+            << "Totals: " << fleet.total_handovers() << " handovers, "
+            << fleet.total_pingpongs() << " ping-pongs, " << fleet.total_steering_steps()
+            << " steering steps\n";
+
+  if (ckpt_dir != nullptr && *ckpt_dir != '\0') {
     std::filesystem::create_directories(ckpt_dir);
-    std::ofstream os(std::filesystem::path(ckpt_dir) / "fleet_store.rem", std::ios::binary);
-    if (os) last_store->save(os);
+    std::ofstream os(std::filesystem::path(ckpt_dir) / "fleet_state.bin", std::ios::binary);
+    if (os) fleet.save(os);
   }
   sim::flush_metrics();
   return 0;

@@ -141,6 +141,11 @@ class SkyRan {
   /// Last epoch's final position estimates: the fallback for a UE whose
   /// localization fails this epoch (positional REM reuse then still works).
   std::vector<geo::Vec2> last_estimates_;
+  /// Per-UE offered+served bits from the last service phase; feeds the
+  /// load-weighted placement objective when
+  /// ServicePhaseConfig::load_weighted_placement is set. Empty until the
+  /// first service phase runs (the first placement is then pure-SNR).
+  std::vector<double> last_ue_load_;
 };
 
 }  // namespace skyran::core

@@ -78,6 +78,7 @@ std::uint64_t config_digest(const SkyRanConfig& c) {
   mix(h, c.service.ttis);
   mix(h, static_cast<std::int32_t>(c.service.ue_traffic.model));
   mix(h, c.service.ue_traffic.rate_bps);
+  mix(h, static_cast<std::uint8_t>(c.service.load_weighted_placement));
   mix(h, c.faults.seed);
   mix(h, static_cast<std::uint64_t>(c.faults.windows.size()));
   for (const sim::FaultWindow& w : c.faults.windows) {
@@ -86,6 +87,7 @@ std::uint64_t config_digest(const SkyRanConfig& c) {
     mix(h, w.end_s);
     mix(h, w.magnitude);
     mix(h, w.heading_rad);
+    mix(h, w.cell);
   }
   // threads intentionally excluded: serial == N-worker bit-identity makes
   // the worker count resume-neutral.
@@ -166,6 +168,8 @@ void Snapshot::save(std::ostream& os) const {
       w.bytes(p.points().data(), p.points().size() * sizeof(geo::Vec2));
     }
   }
+  w.pod(static_cast<std::uint64_t>(ue_service_load.size()));
+  w.bytes(ue_service_load.data(), ue_service_load.size() * sizeof(double));
   geo::write_envelope(os, kMagic, kVersion, w);
   if (!os) throw SnapshotIoError("Snapshot::save: write failed");
 }
@@ -173,7 +177,7 @@ void Snapshot::save(std::ostream& os) const {
 Snapshot Snapshot::load(std::istream& is) {
   geo::Envelope env;
   try {
-    env = geo::read_envelope(is, kMagic, kVersion, kVersion, "Snapshot::load");
+    env = geo::read_envelope(is, kMagic, /*min_version=*/1, kVersion, "Snapshot::load");
   } catch (const geo::BinVersionError& e) {
     throw SnapshotVersionSkew(e.what());
   } catch (const geo::BinTruncatedError& e) {
@@ -215,6 +219,10 @@ Snapshot Snapshot::load(std::istream& is) {
         e.trajectories.emplace_back(std::move(pts));
       }
       s.history.push_back(std::move(e));
+    }
+    if (env.version >= 2) {
+      s.ue_service_load.resize(r.pod<std::uint64_t>());
+      for (double& v : s.ue_service_load) v = r.pod<double>();
     }
     if (!r.done())
       throw SnapshotCorrupt("Snapshot::load: trailing bytes after last field");

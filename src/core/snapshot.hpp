@@ -76,7 +76,9 @@ std::uint64_t report_digest(const EpochReport& report);
 
 /// The full between-epoch session state of one SkyRan.
 struct Snapshot {
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2 appended ue_service_load (load-weighted placement); v1 streams
+  /// still load, with the new field empty.
+  static constexpr std::uint32_t kVersion = 2;
 
   std::uint64_t seed = 0;            ///< SkyRan construction seed
   std::uint64_t config_fingerprint = 0;  ///< config_digest at capture time
@@ -96,6 +98,9 @@ struct Snapshot {
     std::vector<geo::Path> trajectories;
   };
   std::vector<HistoryEntry> history;  ///< per-position trajectory history
+  /// Per-UE offered+served bits from the last service phase (v2+); drives
+  /// the load-weighted placement objective across a resume.
+  std::vector<double> ue_service_load;
 
   /// Serialize as one CRC-guarded envelope.
   void save(std::ostream& os) const;

@@ -10,6 +10,7 @@
 // Known points (see docs/ARCHITECTURE.md, "Checkpoint & recovery"):
 //   epoch.localize / epoch.estimate / epoch.place / epoch.serve
 //     after the matching run_epoch phase completes;
+//   epoch.steer      end of a fleet::Fleet epoch, after the steering step;
 //   ckpt.mid_write   halfway through writing a checkpoint's temp file;
 //   ckpt.pre_rename  temp file complete + fsynced, before the atomic rename.
 #pragma once

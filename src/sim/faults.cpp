@@ -48,7 +48,16 @@ double FaultInjector::srs_snr_sag_db(double t) const {
   if (!active_) return 0.0;
   double sag = 0.0;
   for (const FaultWindow& w : plan_.windows)
-    if (w.kind == FaultKind::kSrsSnrSag && w.contains(t)) sag += w.magnitude;
+    if (w.kind == FaultKind::kSrsSnrSag && w.cell < 0 && w.contains(t)) sag += w.magnitude;
+  return sag;
+}
+
+double FaultInjector::cell_snr_sag_db(double t, std::int32_t cell) const {
+  if (!active_) return 0.0;
+  double sag = 0.0;
+  for (const FaultWindow& w : plan_.windows)
+    if (w.kind == FaultKind::kSrsSnrSag && (w.cell < 0 || w.cell == cell) && w.contains(t))
+      sag += w.magnitude;
   return sag;
 }
 

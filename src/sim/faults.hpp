@@ -39,6 +39,10 @@ struct FaultWindow {
   double end_s = std::numeric_limits<double>::infinity();
   double magnitude = 0.0;
   double heading_rad = 0.0;  ///< wind direction (kWindDrift only)
+  /// Fleet cell index this window is scoped to; -1 (default) hits every
+  /// cell and the single-UAV pipeline. A scoped window is invisible to
+  /// srs_snr_sag_db() and only surfaces through cell_snr_sag_db().
+  std::int32_t cell = -1;
 
   bool contains(double t) const { return t >= start_s && t < end_s; }
 };
@@ -79,6 +83,11 @@ class FaultInjector final : public localization::RangingFaultModel {
   bool srs_symbol_lost(double t) override;
   double srs_snr_sag_db(double t) const override;
   bool gps_forced_outage(double t) const override;
+
+  /// SNR sag seen by fleet cell `cell` at time `t`: the sum of kSrsSnrSag
+  /// windows that are either unscoped (window.cell < 0) or scoped to this
+  /// cell. The single-UAV srs_snr_sag_db() only sums unscoped windows.
+  double cell_snr_sag_db(double t, std::int32_t cell) const;
 
   /// Cumulative capacity fraction sagged by battery windows whose start has
   /// passed by time `t` (each window fires once, at its start).

@@ -1,10 +1,11 @@
 // Kill-at-phase crash-recovery harness. For every crash point — the four
-// run_epoch phase boundaries plus mid-checkpoint-write and pre-rename — a
-// forked child runs the checkpointed campaign and SIGKILLs itself at the
-// armed point; a second forked child restores from whatever generation
-// survived and finishes the campaign. The parent stitches the pre-crash
-// digests (up to the resumed epoch) with the post-resume digests and
-// requires bit-identity with an uninterrupted reference run.
+// SkyRan run_epoch phase boundaries, mid-checkpoint-write, pre-rename, and
+// the fleet's epoch.steer — a forked child runs the checkpointed campaign
+// and SIGKILLs itself at the armed point; a second forked child restores
+// from whatever generation survived and finishes the campaign. The parent
+// stitches the pre-crash digests (up to the resumed epoch) with the
+// post-resume digests and requires bit-identity with an uninterrupted
+// reference run.
 //
 // Fork discipline: the parent is a pure orchestrator — it never runs an
 // epoch, so no thread-pool threads exist at fork time. All campaign work
@@ -27,6 +28,8 @@
 
 #include "core/skyran.hpp"
 #include "core/snapshot.hpp"
+#include "fleet/fleet.hpp"
+#include "rf/channel.hpp"
 #include "sim/crash_point.hpp"
 #include "snapshot_campaign.hpp"
 
@@ -203,5 +206,160 @@ INSTANTIATE_TEST_SUITE_P(
                     CrashCase{"epoch.place", true}, CrashCase{"epoch.serve", true},
                     CrashCase{"ckpt.mid_write", false}, CrashCase{"ckpt.pre_rename", false}),
     case_name);
+
+// ---------------------------------------------------------------------------
+// fleet::Fleet kill-at-epoch.steer recovery. Same fork discipline: the
+// parent never builds a fleet (Fleet::run_epoch spins up pool threads), so
+// no threads exist at fork time. The fleet has no SnapshotManager; the
+// campaign persists one save() file per completed epoch and the resume
+// child restores the newest one that exists.
+// ---------------------------------------------------------------------------
+
+constexpr int kFleetEpochs = 5;
+
+fs::path fleet_ckpt_path(const fs::path& dir, int epoch) {
+  return dir / ("fleet-" + std::to_string(epoch) + ".bin");
+}
+
+/// Deterministic campaign fleet: a hot-spot pair with steering armed and a
+/// marching UE that hands over mid-campaign, so the resumed epochs replay
+/// CIO motion, A3 state and handovers — not just static membership.
+fleet::Fleet make_campaign_fleet() {
+  static const rf::FsplChannel fspl(2.6e9);
+  fleet::FleetConfig cfg;
+  cfg.seed = 0xF1EE7;
+  cfg.threads = kThreads;
+  cfg.ttis_per_epoch = 20;
+  cfg.steering.period_epochs = 1;
+  cfg.steering.step_db = 0.25;
+  cfg.a3.time_to_trigger_epochs = 1;
+  fleet::Fleet f(cfg, fspl);
+  f.add_cell({0.0, 0.0, 60.0});
+  f.add_cell({400.0, 0.0, 60.0});
+  lte::TrafficSpec spec;
+  spec.model = lte::TrafficModel::kCbr;
+  spec.rate_bps = 3e5;
+  for (int i = 0; i < 10; ++i) f.add_ue({40.0 + 12.0 * i, -30.0 + 6.0 * i, 1.5}, spec);
+  f.add_ue({360.0, 20.0, 1.5}, spec);
+  return f;
+}
+
+/// Mobility for epoch `e` as an absolute function of the epoch number, so a
+/// resumed campaign replays positions identically: UE 0 marches across the
+/// A3 boundary (handover around epoch 4).
+void fleet_mobility(fleet::Fleet& f, int e) {
+  f.set_ue_position(0, {40.0 + 60.0 * e, -30.0, 1.5});
+}
+
+/// One campaign epoch: mobility, epoch, digest line.
+void fleet_epoch(fleet::Fleet& f, int e, std::ofstream& os) {
+  fleet_mobility(f, e);
+  f.run_epoch();  // SIGKILL fires here when epoch.steer is armed
+  write_digest_line(os, f.state_hash());
+}
+
+[[noreturn]] void fleet_child_reference(const fs::path& out) {
+  fleet::Fleet f = make_campaign_fleet();
+  std::ofstream os(out);
+  for (int e = 1; e <= kFleetEpochs; ++e) fleet_epoch(f, e, os);
+  _exit(kChildOk);
+}
+
+[[noreturn]] void fleet_child_crasher(const fs::path& ckpt_dir, const fs::path& out,
+                                      const char* point) {
+  sim::arm_crash_point(point, kCrashHit);
+  fleet::Fleet f = make_campaign_fleet();
+  std::ofstream os(out);
+  for (int e = 1; e <= kFleetEpochs; ++e) {
+    fleet_epoch(f, e, os);
+    const fs::path tmp = fleet_ckpt_path(ckpt_dir, e).concat(".tmp");
+    {
+      std::ofstream ck(tmp, std::ios::binary);
+      f.save(ck);
+    }
+    fs::rename(tmp, fleet_ckpt_path(ckpt_dir, e));
+  }
+  _exit(kChildSurvivedCrash);
+}
+
+[[noreturn]] void fleet_child_resumer(const fs::path& ckpt_dir, const fs::path& out) {
+  int latest = 0;
+  for (int e = 1; e <= kFleetEpochs; ++e)
+    if (fs::exists(fleet_ckpt_path(ckpt_dir, e))) latest = e;
+  if (latest == 0) _exit(kChildNoCheckpoint);
+  fleet::Fleet f = make_campaign_fleet();
+  std::ifstream ck(fleet_ckpt_path(ckpt_dir, latest), std::ios::binary);
+  f.restore(ck);
+  std::ofstream os(out);
+  os << "resumed_from " << latest << '\n';
+  os.flush();
+  for (int e = latest + 1; e <= kFleetEpochs; ++e) fleet_epoch(f, e, os);
+  _exit(kChildOk);
+}
+
+class FleetCrashRecoveryTest : public testing::TestWithParam<CrashCase> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("skyran_fleet_crash_" + case_name({GetParam(), 0}) + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "ckpt");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_P(FleetCrashRecoveryTest, KillAtPointResumesBitIdentical) {
+  const CrashCase c = GetParam();
+  const fs::path ref_file = dir_ / "ref.txt";
+  const fs::path crash_file = dir_ / "crash.txt";
+  const fs::path resume_file = dir_ / "resume.txt";
+  const fs::path ckpt_dir = dir_ / "ckpt";
+
+  const int ref_status = run_child([&] { fleet_child_reference(ref_file); });
+  ASSERT_TRUE(WIFEXITED(ref_status)) << "reference child did not exit cleanly";
+  ASSERT_EQ(WEXITSTATUS(ref_status), kChildOk);
+  const std::vector<std::uint64_t> ref = read_digest_file(ref_file);
+  ASSERT_EQ(ref.size(), static_cast<std::size_t>(kFleetEpochs));
+
+  const int crash_status =
+      run_child([&] { fleet_child_crasher(ckpt_dir, crash_file, c.point); });
+  ASSERT_TRUE(WIFSIGNALED(crash_status))
+      << "crash child exited with status "
+      << (WIFEXITED(crash_status) ? WEXITSTATUS(crash_status) : -1)
+      << " instead of dying at " << c.point;
+  ASSERT_EQ(WTERMSIG(crash_status), SIGKILL);
+
+  // epoch.steer is inside run_epoch: the kill at visit 3 leaves digests and
+  // saves for epochs 1..2 only.
+  const std::vector<std::uint64_t> pre_crash = read_digest_file(crash_file);
+  ASSERT_EQ(pre_crash.size(), static_cast<std::size_t>(kCrashHit - 1));
+
+  const int resume_status = run_child([&] { fleet_child_resumer(ckpt_dir, resume_file); });
+  ASSERT_TRUE(WIFEXITED(resume_status)) << "resume child crashed";
+  ASSERT_EQ(WEXITSTATUS(resume_status), kChildOk)
+      << (WEXITSTATUS(resume_status) == kChildNoCheckpoint
+              ? "no fleet checkpoint survived the crash"
+              : "fleet resume child failed");
+
+  std::ifstream rs(resume_file);
+  std::string tag;
+  int resumed_from = -1;
+  ASSERT_TRUE(rs >> tag >> resumed_from);
+  ASSERT_EQ(tag, "resumed_from");
+  ASSERT_EQ(resumed_from, kCrashHit - 1);
+
+  std::vector<std::uint64_t> resumed;
+  std::uint64_t d = 0;
+  while (rs >> d) resumed.push_back(d);
+  ASSERT_EQ(resumed.size(), static_cast<std::size_t>(kFleetEpochs - resumed_from));
+
+  std::vector<std::uint64_t> stitched(pre_crash.begin(), pre_crash.begin() + resumed_from);
+  stitched.insert(stitched.end(), resumed.begin(), resumed.end());
+  EXPECT_EQ(stitched, ref) << "resumed fleet campaign diverged from the uninterrupted run";
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetPhases, FleetCrashRecoveryTest,
+                         testing::Values(CrashCase{"epoch.steer", true}), case_name);
 
 }  // namespace

@@ -14,9 +14,11 @@
 #include <numbers>
 
 #include "core/skyran.hpp"
+#include "fleet/fleet.hpp"
 #include "geo/contract.hpp"
 #include "lte/ranging.hpp"
 #include "mobility/deployment.hpp"
+#include "rf/channel.hpp"
 #include "sim/faults.hpp"
 #include "uav/flight.hpp"
 #include "uav/gps.hpp"
@@ -418,6 +420,116 @@ TEST(TofQualityGate, GateFlagsOnlyBelowThreshold) {
   EXPECT_FALSE(gated.quality_ok);
   EXPECT_EQ(gated.distance_m, open.distance_m);  // flagged, not zeroed
   EXPECT_THROW(lte::TofEstimator(cfg, 4, 0.0, 0.6, true, -1.0), ContractViolation);
+}
+
+// -------------------------------------------------- per-cell fault scoping --
+
+TEST(CellScopedFaults, ScopedWindowInvisibleToSingleUavPath) {
+  sim::FaultPlan plan;
+  sim::FaultWindow w;
+  w.kind = sim::FaultKind::kSrsSnrSag;
+  w.start_s = 1.0;
+  w.end_s = 4.0;
+  w.magnitude = 30.0;
+  w.cell = 1;
+  plan.windows.push_back(w);
+  const sim::FaultInjector injector(plan, kSeed);
+  // Inside the window: only the scoped cell sees the sag; the single-UAV
+  // srs path and every other cell see nothing.
+  EXPECT_EQ(injector.srs_snr_sag_db(2.0), 0.0);
+  EXPECT_EQ(injector.cell_snr_sag_db(2.0, 1), 30.0);
+  EXPECT_EQ(injector.cell_snr_sag_db(2.0, 0), 0.0);
+  EXPECT_EQ(injector.cell_snr_sag_db(2.0, 2), 0.0);
+  // Outside the window: nothing anywhere.
+  EXPECT_EQ(injector.cell_snr_sag_db(0.0, 1), 0.0);
+  EXPECT_EQ(injector.cell_snr_sag_db(4.0, 1), 0.0);
+  // An unscoped window still hits both paths.
+  sim::FaultPlan global;
+  global.windows.push_back({sim::FaultKind::kSrsSnrSag, 1.0, 4.0, 12.0});
+  const sim::FaultInjector gi(global, kSeed);
+  EXPECT_EQ(gi.srs_snr_sag_db(2.0), 12.0);
+  EXPECT_EQ(gi.cell_snr_sag_db(2.0, 7), 12.0);
+}
+
+/// Three-cell fleet with the middle cell sagged 30 dB for epochs 2..4
+/// (fleet fault time base: t = epoch - 1). Neighbors must absorb the
+/// faulted cell's UEs via A3 while staying unaffected themselves.
+fleet::Fleet scoped_fault_fleet(int threads, bool faulted) {
+  static const rf::FsplChannel fspl(2.6e9);
+  fleet::FleetConfig cfg;
+  cfg.seed = kSeed;
+  cfg.threads = threads;
+  cfg.ttis_per_epoch = 20;
+  cfg.steering.enabled = false;
+  cfg.a3.time_to_trigger_epochs = 1;
+  if (faulted) {
+    sim::FaultWindow w;
+    w.kind = sim::FaultKind::kSrsSnrSag;
+    w.start_s = 1.0;
+    w.end_s = 4.0;
+    w.magnitude = 30.0;
+    w.cell = 1;
+    cfg.faults.windows.push_back(w);
+  }
+  fleet::Fleet f(cfg, fspl);
+  f.add_cell({0.0, 0.0, 60.0});
+  f.add_cell({400.0, 0.0, 60.0});
+  f.add_cell({800.0, 0.0, 60.0});
+  lte::TrafficSpec spec;
+  spec.model = lte::TrafficModel::kCbr;
+  spec.rate_bps = 2e5;
+  for (int i = 0; i < 4; ++i) f.add_ue({30.0 + 25.0 * i, 10.0 * i, 1.5}, spec);   // cell 0
+  for (int i = 0; i < 6; ++i) f.add_ue({340.0 + 24.0 * i, -20.0 + 8.0 * i, 1.5}, spec);  // cell 1
+  for (int i = 0; i < 4; ++i) f.add_ue({730.0 + 25.0 * i, 5.0 * i, 1.5}, spec);   // cell 2
+  return f;
+}
+
+TEST(CellScopedFaults, NeighborsAbsorbFaultedCellsUes) {
+  fleet::Fleet f = scoped_fault_fleet(/*threads=*/1, /*faulted=*/true);
+  fleet::Fleet clean = scoped_fault_fleet(/*threads=*/1, /*faulted=*/false);
+
+  // Epoch 1 (t = 0): the window is closed — the scoped plan is a strict
+  // no-op and both fleets attach identically.
+  fleet::FleetEpochReport r = f.run_epoch();
+  clean.run_epoch();
+  ASSERT_EQ(r.cell_ues, (std::vector<std::uint32_t>{4, 6, 4}));
+  EXPECT_EQ(f.state_hash(), clean.state_hash());
+
+  // Epoch 2 (t = 1): cell 1 sags 30 dB; every one of its UEs sees a
+  // neighbor >3 dB better and hands over in one epoch (TTT = 1).
+  r = f.run_epoch();
+  EXPECT_EQ(r.ho_successes, 6u);
+  ASSERT_EQ(r.cell_ues.size(), 3u);
+  EXPECT_EQ(r.cell_ues[1], 0u);
+  EXPECT_EQ(r.cell_ues[0] + r.cell_ues[2], 14u);
+  // The unfaulted fleet saw no handovers at all.
+  clean.run_epoch();
+  EXPECT_EQ(clean.total_handovers(), 0u);
+
+  // Epochs 3..4: still sagged, membership stays drained and stable.
+  r = f.run_epoch();
+  EXPECT_EQ(r.cell_ues[1], 0u);
+  EXPECT_EQ(r.ho_successes, 0u);
+
+  // Epoch 5 (t = 4): the window closed; cell 1's RSRP recovers by 30 dB
+  // and its UEs come home.
+  f.run_epoch();
+  const fleet::FleetEpochReport back = f.run_epoch();
+  EXPECT_EQ(back.cell_ues[1], 6u);
+}
+
+TEST(CellScopedFaults, FaultedFleetSerialMatchesEightWorkers) {
+  fleet::Fleet serial = scoped_fault_fleet(/*threads=*/1, /*faulted=*/true);
+  fleet::Fleet pool = scoped_fault_fleet(/*threads=*/8, /*faulted=*/true);
+  for (int e = 1; e <= 6; ++e) {
+    const fleet::FleetEpochReport rs = serial.run_epoch();
+    const fleet::FleetEpochReport rp = pool.run_epoch();
+    ASSERT_EQ(serial.state_hash(), pool.state_hash()) << "epoch " << e;
+    EXPECT_EQ(rs.ho_successes, rp.ho_successes);
+    EXPECT_EQ(rs.cell_ues, rp.cell_ues);
+    EXPECT_EQ(rs.min_sinr_db, rp.min_sinr_db);
+    EXPECT_EQ(rs.served_bits, rp.served_bits);
+  }
 }
 
 // ------------------------------------------------------ flight truncation --
