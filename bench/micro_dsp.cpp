@@ -1,155 +1,213 @@
-// Microbenchmarks of the hot kernels (google-benchmark): FFT engine, SRS
-// ToF estimation, ray tracing, IDW interpolation, k-means, TSP and the full
-// planner step. These bound SkyRAN's onboard compute budget.
-#include <benchmark/benchmark.h>
-
-#include <memory>
+// Scalar-vs-SIMD throughput for the kernels layer (src/kernels/): complex
+// correlation, power peak scan, IDW accumulate, k-means argmin and path-loss
+// batches, plus the full SRS ToF estimate end to end. Each kernel runs the
+// same inputs with SKYRAN_SIMD forced off and at the best available level,
+// asserts the documented exactness/tolerance contract in-bench, and prints
+// one machine-readable JSON line. Not a google-benchmark binary: the JSON
+// contract is the point (tools/bench_snapshot.py gates it in CI).
+//
+// Usage: micro_dsp [repetitions]   (default 5; best-of is reported)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <random>
+#include <vector>
 
+#include "kernels/kernels.hpp"
 #include "lte/ranging.hpp"
+#include "lte/srs.hpp"
 #include "lte/srs_channel.hpp"
 #include "obs_session.hpp"
-#include "rem/gradient.hpp"
-#include "rem/idw.hpp"
-#include "rem/kmeans.hpp"
-#include "rem/planner.hpp"
-#include "rem/tsp.hpp"
-#include "rf/channel.hpp"
-#include "terrain/synth.hpp"
 
+namespace skyran::bench {
 namespace {
 
-using namespace skyran;
+using Clock = std::chrono::steady_clock;
+using kernels::Cplx;
 
-void BM_FftRadix2(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  lte::CplxVec data(n);
-  std::mt19937_64 rng(1);
+double best_of_ms(int reps, const auto& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+/// Run `fn` with SIMD forced off and at the active level, time both, check
+/// the exactness/tolerance contract via `check(scalar_result, simd_result)`
+/// — which returns the max observed error, or a negative value when the
+/// contract is broken — and emit the JSON line. `n` is elements per call.
+void report(const char* kernel, std::size_t n, int reps, const auto& fn, const auto& check) {
+  decltype(fn()) scalar_result, simd_result;
+  double scalar_ms = 0.0, simd_ms = 0.0;
+  {
+    kernels::ScopedSimdMode off(kernels::SimdMode::kOff);
+    scalar_result = fn();
+    scalar_ms = best_of_ms(reps, fn);
+  }
+  const kernels::SimdLevel level = kernels::active_level();
+  simd_result = fn();
+  simd_ms = best_of_ms(reps, fn);
+
+  const double max_err = check(scalar_result, simd_result);
+  std::printf(
+      "{\"bench\":\"micro_dsp\",\"kernel\":\"%s\",\"n\":%zu,"
+      "\"scalar_ms\":%.3f,\"simd_ms\":%.3f,\"speedup\":%.3f,"
+      "\"simd\":\"%s\",\"equal\":%s,\"max_err\":%.3e}\n",
+      kernel, n, scalar_ms, simd_ms, scalar_ms / simd_ms, kernels::level_name(level),
+      max_err >= 0.0 ? "true" : "false", max_err);
+  std::fflush(stdout);
+}
+
+std::vector<Cplx> random_cplx(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
   std::normal_distribution<double> g;
-  for (auto& v : data) v = lte::Cplx(g(rng), g(rng));
-  for (auto _ : state) {
-    lte::CplxVec copy = data;
-    lte::fft_inplace(copy);
-    benchmark::DoNotOptimize(copy.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  std::vector<Cplx> v(n);
+  for (Cplx& c : v) c = {g(rng), g(rng)};
+  return v;
 }
-BENCHMARK(BM_FftRadix2)->Arg(1024)->Arg(4096)->Arg(8192);
 
-void BM_FftBluestein1536(benchmark::State& state) {
-  lte::CplxVec data(1536);
-  std::mt19937_64 rng(1);
-  std::normal_distribution<double> g;
-  for (auto& v : data) v = lte::Cplx(g(rng), g(rng));
-  for (auto _ : state) {
-    lte::CplxVec copy = data;
-    lte::fft_inplace(copy);
-    benchmark::DoNotOptimize(copy.data());
-  }
+std::vector<double> random_doubles(std::size_t n, double lo, double hi, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(lo, hi);
+  std::vector<double> v(n);
+  for (double& x : v) x = d(rng);
+  return v;
 }
-BENCHMARK(BM_FftBluestein1536);
 
-void BM_TofEstimate(benchmark::State& state) {
-  lte::SrsConfig cfg;
-  const lte::SrsSymbol tx = lte::make_srs_symbol(cfg);
-  const lte::TofEstimator est(cfg, static_cast<int>(state.range(0)));
-  std::mt19937_64 rng(2);
-  lte::SrsChannelParams ch;
-  ch.delay_s = 6e-7;
-  ch.snr_db = 15.0;
-  const lte::SrsSymbol rx = lte::apply_srs_channel(tx, ch, rng);
-  for (auto _ : state) {
-    const lte::TofEstimate e = est.estimate(rx);
-    benchmark::DoNotOptimize(e.delay_samples);
-  }
+double rel_err(double ref, double got) {
+  const double denom = std::max(std::abs(ref), 1e-300);
+  return std::abs(got - ref) / denom;
 }
-BENCHMARK(BM_TofEstimate)->Arg(1)->Arg(4)->Arg(8);
-
-void BM_RayTrace(benchmark::State& state) {
-  const auto terrain = std::make_shared<const terrain::Terrain>(terrain::make_nyc(3));
-  const rf::RayTraceChannel ch(terrain, {}, 4);
-  std::mt19937_64 rng(3);
-  std::uniform_real_distribution<double> u(10.0, 240.0);
-  for (auto _ : state) {
-    const double pl =
-        ch.path_loss_db({u(rng), u(rng), 60.0}, {u(rng), u(rng), 1.5});
-    benchmark::DoNotOptimize(pl);
-  }
-}
-BENCHMARK(BM_RayTrace);
-
-void BM_IdwFullMap(benchmark::State& state) {
-  std::vector<rem::IdwSample> samples;
-  std::mt19937_64 rng(4);
-  std::uniform_real_distribution<double> u(0.0, 300.0);
-  for (int i = 0; i < 800; ++i) samples.push_back({{u(rng), u(rng)}, u(rng)});
-  const rem::IdwInterpolator idw(samples, geo::Rect::square(300.0));
-  for (auto _ : state) {
-    double sum = 0.0;
-    for (double x = 2.0; x < 300.0; x += 4.0)
-      for (double y = 2.0; y < 300.0; y += 4.0)
-        sum += idw.estimate({x, y}, 8, 2.0, 1e9).value_or(0.0);
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_IdwFullMap);
-
-void BM_KMeans(benchmark::State& state) {
-  std::vector<rem::WeightedPoint> pts;
-  std::mt19937_64 rng(5);
-  std::uniform_real_distribution<double> u(0.0, 300.0);
-  for (int i = 0; i < 2000; ++i) pts.push_back({{u(rng), u(rng)}, 1.0 + u(rng) / 300.0});
-  for (auto _ : state) {
-    const rem::KMeansResult r = rem::kmeans(pts, static_cast<int>(state.range(0)), 6);
-    benchmark::DoNotOptimize(r.inertia);
-  }
-}
-BENCHMARK(BM_KMeans)->Arg(4)->Arg(8)->Arg(16);
-
-void BM_TspTour(benchmark::State& state) {
-  std::vector<geo::Vec2> nodes;
-  std::mt19937_64 rng(7);
-  std::uniform_real_distribution<double> u(0.0, 300.0);
-  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) nodes.push_back({u(rng), u(rng)});
-  for (auto _ : state) {
-    const geo::Path tour = rem::plan_tour({0.0, 0.0}, nodes);
-    benchmark::DoNotOptimize(tour.length());
-  }
-}
-BENCHMARK(BM_TspTour)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_GradientMap(benchmark::State& state) {
-  geo::Grid2D<double> snr(geo::Rect::square(300.0), 4.0, 0.0);
-  std::mt19937_64 rng(8);
-  std::normal_distribution<double> g(10.0, 6.0);
-  for (double& v : snr.raw()) v = g(rng);
-  for (auto _ : state) {
-    const geo::Grid2D<double> grad = rem::gradient_map(snr);
-    benchmark::DoNotOptimize(grad.raw().data());
-  }
-}
-BENCHMARK(BM_GradientMap);
-
-void BM_PlannerFullStep(benchmark::State& state) {
-  // The complete Step 6 on a realistic map: aggregate + gradient + k-sweep
-  // + TSP + info gain.
-  rem::Rem rem_map(geo::Rect::square(300.0), 4.0, 60.0, {150.0, 150.0, 1.5});
-  const rf::FsplChannel fspl(2.6e9);
-  rem_map.seed_from_model(fspl, rf::LinkBudget{});
-  std::mt19937_64 rng(9);
-  std::uniform_real_distribution<double> u(5.0, 295.0);
-  std::normal_distribution<double> g(10.0, 6.0);
-  for (int i = 0; i < 1500; ++i) rem_map.add_measurement({u(rng), u(rng)}, g(rng));
-  const std::vector<rem::Rem> rems{rem_map};
-  const std::vector<rem::TrajectoryHistory> history{{}};
-  for (auto _ : state) {
-    rem::PlannerConfig cfg;
-    cfg.budget_m = 800.0;
-    const rem::PlannedTrajectory plan =
-        rem::plan_measurement_trajectory(rems, history, {0.0, 0.0}, cfg);
-    benchmark::DoNotOptimize(plan.cost_m);
-  }
-}
-BENCHMARK(BM_PlannerFullStep);
 
 }  // namespace
+}  // namespace skyran::bench
+
+int main(int argc, char** argv) {
+  using namespace skyran;
+  using namespace skyran::bench;
+
+  const int reps = argc > 1 ? std::max(1, std::atoi(argv[1])) : 5;
+  constexpr int kInnerIters = 200;  // per timed call, amortizes clock overhead
+
+  {
+    constexpr std::size_t n = 4096;
+    const auto a = random_cplx(n, 1);
+    const auto b = random_cplx(n, 2);
+    std::vector<Cplx> out(n);
+    const auto run = [&] {
+      for (int it = 0; it < kInnerIters; ++it)
+        kernels::multiply_conjugate(a.data(), b.data(), out.data(), n);
+      return out;
+    };
+    report("mul_conj", n, reps, run, [](const auto& s, const auto& v) {
+      for (std::size_t i = 0; i < s.size(); ++i)
+        if (s[i] != v[i]) return -1.0;  // EXACT contract
+      return 0.0;
+    });
+  }
+
+  {
+    constexpr std::size_t n = 8192;  // one upsampled correlation window
+    const auto v = random_cplx(n, 3);
+    const auto run = [&] {
+      kernels::PowerPeak last{};
+      for (int it = 0; it < kInnerIters; ++it) last = kernels::power_peak_scan(v.data(), n);
+      return last;
+    };
+    report("peak_scan", n, reps, run,
+           [](const kernels::PowerPeak& s, const kernels::PowerPeak& v) {
+             if (s.argmax != v.argmax || s.peak != v.peak) return -1.0;  // EXACT part
+             const double err = rel_err(s.total, v.total);
+             return err <= 1e-12 ? err : -1.0;  // TOLERANCE part
+           });
+  }
+
+  for (const std::size_t n : {std::size_t{8}, std::size_t{1024}}) {
+    // n=8 is the real call shape (k nearest neighbors per grid cell);
+    // n=1024 shows the asymptotic kernel throughput.
+    const auto dist = random_doubles(n, 0.5, 300.0, 4);
+    const auto val = random_doubles(n, -40.0, 40.0, 5);
+    const int iters = kInnerIters * static_cast<int>(1024 / n);
+    const auto run = [&] {
+      kernels::IdwAccum acc{};
+      for (int it = 0; it < iters; ++it)
+        acc = kernels::idw_weigh(dist.data(), val.data(), n, 2.0);
+      return acc;
+    };
+    report("idw_weigh", n, reps, run,
+           [](const kernels::IdwAccum& s, const kernels::IdwAccum& v) {
+             const double err = std::max(rel_err(s.wsum, v.wsum), rel_err(s.vsum, v.vsum));
+             return err <= 1e-12 ? err : -1.0;  // TOLERANCE contract
+           });
+  }
+
+  {
+    constexpr std::size_t n = 20000;
+    constexpr std::size_t k = 16;
+    const auto px = random_doubles(n, 0.0, 400.0, 6);
+    const auto py = random_doubles(n, 0.0, 400.0, 7);
+    const auto cx = random_doubles(k, 0.0, 400.0, 8);
+    const auto cy = random_doubles(k, 0.0, 400.0, 9);
+    std::vector<int> assign(n, 0);
+    const auto run = [&] {
+      for (int it = 0; it < 10; ++it) {
+        std::fill(assign.begin(), assign.end(), 0);
+        kernels::kmeans_assign(px.data(), py.data(), n, cx.data(), cy.data(), k,
+                               assign.data());
+      }
+      return assign;
+    };
+    report("kmeans_assign", n, reps, run, [](const auto& s, const auto& v) {
+      return s == v ? 0.0 : -1.0;  // EXACT contract
+    });
+  }
+
+  {
+    constexpr std::size_t n = 4096;
+    const auto dist = random_doubles(n, 1.0, 2.0e4, 10);
+    std::vector<double> out(n);
+    const auto run = [&] {
+      for (int it = 0; it < kInnerIters; ++it)
+        kernels::fspl_db(dist.data(), out.data(), n, 2.6e9);
+      return out;
+    };
+    report("pathloss_fspl", n, reps, run, [](const auto& s, const auto& v) {
+      double err = 0.0;
+      for (std::size_t i = 0; i < s.size(); ++i) err = std::max(err, std::abs(s[i] - v[i]));
+      return err <= 1e-9 ? err : -1.0;  // TOLERANCE contract, dB absolute
+    });
+  }
+
+  {
+    // End to end: the full SRS ToF estimate (mul-conj + upsample + IFFT +
+    // kernel peak scan). Delay and distance derive from the EXACT argmax;
+    // peak_to_side_db carries the total-power reduction tolerance.
+    lte::SrsConfig cfg;
+    const lte::SrsSymbol tx = lte::make_srs_symbol(cfg);
+    std::mt19937_64 rng(11);
+    lte::SrsChannelParams ch;
+    ch.delay_s = 9.7 / cfg.carrier.sample_rate_hz;
+    ch.snr_db = 15.0;
+    const lte::SrsSymbol rx = lte::apply_srs_channel(tx, ch, rng);
+    const lte::TofEstimator est(cfg, 4);
+    const auto run = [&] {
+      lte::TofEstimate last{};
+      for (int it = 0; it < 20; ++it) last = est.estimate(rx);
+      return last;
+    };
+    report("tof_estimate", cfg.carrier.fft_size, reps, run,
+           [](const lte::TofEstimate& s, const lte::TofEstimate& v) {
+             if (s.delay_samples != v.delay_samples || s.distance_m != v.distance_m)
+               return -1.0;  // argmax + refinement are EXACT
+             const double err = rel_err(s.peak_to_side_db, v.peak_to_side_db);
+             return err <= 1e-9 ? err : -1.0;
+           });
+  }
+
+  return 0;
+}

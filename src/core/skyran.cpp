@@ -32,6 +32,10 @@ SkyRan::SkyRan(sim::World& world, SkyRanConfig config, std::uint64_t seed)
   // run_epoch / current_estimates) rather than set_global_workers: a
   // constructor mutating the process-wide count would race with parallel
   // work in flight elsewhere and let instances override each other.
+  // config.simd, by contrast, IS process-wide by design: kernels run on
+  // pool workers, which must dispatch at the same level as the submitting
+  // thread. kAuto leaves the SKYRAN_SIMD / CPU-probe resolution untouched.
+  if (config.simd != kernels::SimdMode::kAuto) kernels::set_mode(config.simd);
 }
 
 rem::TrajectoryHistory& SkyRan::history_for(geo::Vec2 ue_position) {

@@ -1,0 +1,269 @@
+// AVX2 kernel variants (x86-64 only). This translation unit is compiled with
+// -mavx2 and must only be entered after the runtime CPU-feature check in
+// dispatch.cpp. No FMA anywhere: contraction would break the EXACT contracts
+// and -mavx2 alone does not enable it, so the compiler cannot fuse either.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "kernels/detail.hpp"
+
+namespace skyran::kernels::avx2 {
+namespace {
+
+// log10 on four positive, finite lanes. Range reduction x = m * 2^e with
+// m in [sqrt(2)/2, sqrt(2)), then ln(m) = 2*artanh(s), s = (m-1)/(m+1),
+// via an odd atanh series in z = s^2 (|s| <= 0.1716 -> z <= 0.0295, so the
+// z^7/15 tail bounds truncation at ~4e-14 relative). Measured error vs
+// std::log10 is < 1e-12; the public contract allows 1e-9 dB after the
+// 20x scale.
+inline __m256d log10_pd(__m256d x) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256i bits = _mm256_castpd_si256(x);
+
+  // Biased exponent -> integer e, converted int64->double with the
+  // 1.5*2^52 magic-constant trick (valid for |e| < 2^51).
+  __m256i expi = _mm256_and_si256(_mm256_srli_epi64(bits, 52), _mm256_set1_epi64x(0x7ff));
+  expi = _mm256_sub_epi64(expi, _mm256_set1_epi64x(1023));
+  const __m256i magic = _mm256_set1_epi64x(0x4338000000000000LL);
+  __m256d e = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_add_epi64(expi, magic)),
+                            _mm256_castsi256_pd(magic));
+
+  // Mantissa in [1, 2); fold (sqrt(2), 2) down so s stays small.
+  __m256d m = _mm256_castsi256_pd(
+      _mm256_or_si256(_mm256_and_si256(bits, _mm256_set1_epi64x(0x000fffffffffffffLL)),
+                      _mm256_set1_epi64x(0x3ff0000000000000LL)));
+  const __m256d fold = _mm256_cmp_pd(m, _mm256_set1_pd(std::numbers::sqrt2), _CMP_GT_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), fold);
+  e = _mm256_add_pd(e, _mm256_and_pd(fold, one));
+
+  const __m256d s = _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d z = _mm256_mul_pd(s, s);
+  __m256d p = _mm256_set1_pd(1.0 / 15.0);
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(1.0 / 13.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(1.0 / 11.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(1.0 / 9.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(1.0 / 7.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(1.0 / 5.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(1.0 / 3.0));
+  const __m256d artanh = _mm256_add_pd(s, _mm256_mul_pd(_mm256_mul_pd(s, z), p));
+  const __m256d ln_m = _mm256_add_pd(artanh, artanh);
+
+  const __m256d log10_2 = _mm256_set1_pd(0.30102999566398119521);  // log10(2)
+  const __m256d inv_ln10 = _mm256_set1_pd(0.43429448190325182765); // 1/ln(10)
+  return _mm256_add_pd(_mm256_mul_pd(e, log10_2), _mm256_mul_pd(ln_m, inv_ln10));
+}
+
+inline void store4(__m256d v, double* out) { _mm256_storeu_pd(out, v); }
+
+}  // namespace
+
+void multiply_conjugate(const Cplx* a, const Cplx* b, Cplx* out, std::size_t n) {
+  const double* ap = reinterpret_cast<const double*>(a);
+  const double* bp = reinterpret_cast<const double*>(b);
+  double* op = reinterpret_cast<double*>(out);
+  std::size_t i = 0;
+  // Two interleaved complexes per vector: [re0 im0 re1 im1].
+  // (ar + i*ai)(br - i*bi) = (ar*br + ai*bi) + i*(ai*br - ar*bi).
+  // addsub(mul(a, b_dup_re), mul(a_swapped, b_dup_im)) yields exactly one
+  // mul and one add/sub per output component, matching std::complex.
+  for (; i + 2 <= n; i += 2) {
+    const __m256d av = _mm256_loadu_pd(ap + 2 * i);
+    const __m256d bv = _mm256_loadu_pd(bp + 2 * i);
+    const __m256d br = _mm256_movedup_pd(bv);            // [br0 br0 br1 br1]
+    const __m256d bi = _mm256_permute_pd(bv, 0xF);       // [bi0 bi0 bi1 bi1]
+    const __m256d asw = _mm256_permute_pd(av, 0x5);      // [ai0 ar0 ai1 ar1]
+    const __m256d x = _mm256_mul_pd(av, br);             // [ar*br, ai*br]
+    const __m256d y = _mm256_mul_pd(asw, bi);            // [ai*bi, ar*bi]
+    const __m256d re = _mm256_add_pd(x, y);              // lane0: ar*br+ai*bi
+    const __m256d im = _mm256_sub_pd(x, y);              // lane1: ai*br-ar*bi
+    // blend even lanes from re, odd lanes from im: 0b1010.
+    _mm256_storeu_pd(op + 2 * i, _mm256_blend_pd(re, im, 0xA));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] * std::conj(b[i]);
+  }
+}
+
+PowerPeak power_peak_scan(const Cplx* v, std::size_t n) {
+  PowerPeak out;
+  if (n == 0) return out;
+  const double* d = reinterpret_cast<const double*>(v);
+  std::size_t i = 0;
+  double head_total = 0.0;
+  double head_peak = -1.0;
+  std::size_t head_arg = 0;
+  if (n >= 4) {
+    __m256d best = _mm256_set1_pd(-1.0);
+    __m256d best_idx = _mm256_setzero_pd();
+    // hadd_pd(lo, hi) lane order is [m0, m2, m1, m3], so the running index
+    // vector must carry [i, i+2, i+1, i+3] (set_pd takes hi..lo).
+    __m256d idx = _mm256_set_pd(3.0, 1.0, 2.0, 0.0);
+    const __m256d four = _mm256_set1_pd(4.0);
+    __m256d tot = _mm256_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+      const __m256d lo = _mm256_loadu_pd(d + 2 * i);      // re0 im0 re1 im1
+      const __m256d hi = _mm256_loadu_pd(d + 2 * i + 4);  // re2 im2 re3 im3
+      const __m256d mags =
+          _mm256_hadd_pd(_mm256_mul_pd(lo, lo), _mm256_mul_pd(hi, hi));
+      tot = _mm256_add_pd(tot, mags);
+      const __m256d gt = _mm256_cmp_pd(mags, best, _CMP_GT_OQ);
+      best = _mm256_blendv_pd(best, mags, gt);
+      best_idx = _mm256_blendv_pd(best_idx, idx, gt);
+      idx = _mm256_add_pd(idx, four);
+    }
+    double bl[4], il[4], tl[4];
+    store4(best, bl);
+    store4(best_idx, il);
+    store4(tot, tl);
+    head_total = ((tl[0] + tl[1]) + tl[2]) + tl[3];
+    for (int k = 0; k < 4; ++k) {
+      // Strictly-greater keeps the earliest lane hit; across lanes pick the
+      // max value, breaking ties toward the lowest element index.
+      if (bl[k] > head_peak ||
+          (bl[k] == head_peak && static_cast<std::size_t>(il[k]) < head_arg)) {
+        head_peak = bl[k];
+        head_arg = static_cast<std::size_t>(il[k]);
+      }
+    }
+  }
+  out.peak = head_peak >= 0.0 ? head_peak : std::norm(v[0]);
+  out.argmax = head_peak >= 0.0 ? head_arg : 0;
+  out.total = head_total;
+  for (; i < n; ++i) {
+    const double m = std::norm(v[i]);
+    out.total += m;
+    if (m > out.peak) {
+      out.peak = m;
+      out.argmax = i;
+    }
+  }
+  return out;
+}
+
+IdwAccum idw_weigh(const double* dist_m, const double* value, std::size_t n, double power) {
+  // Dispatch guarantees power is 1.0 or 2.0 here; anything else runs scalar.
+  const bool square = power == 2.0;
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d wsum = _mm256_setzero_pd();
+  __m256d vsum = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dv = _mm256_loadu_pd(dist_m + i);
+    const __m256d w = _mm256_div_pd(one, square ? _mm256_mul_pd(dv, dv) : dv);
+    wsum = _mm256_add_pd(wsum, w);
+    vsum = _mm256_add_pd(vsum, _mm256_mul_pd(w, _mm256_loadu_pd(value + i)));
+  }
+  double wl[4], vl[4];
+  store4(wsum, wl);
+  store4(vsum, vl);
+  IdwAccum acc;
+  acc.wsum = ((wl[0] + wl[1]) + wl[2]) + wl[3];
+  acc.vsum = ((vl[0] + vl[1]) + vl[2]) + vl[3];
+  for (; i < n; ++i) {
+    const double w = square ? 1.0 / (dist_m[i] * dist_m[i]) : 1.0 / dist_m[i];
+    acc.wsum += w;
+    acc.vsum += w * value[i];
+  }
+  return acc;
+}
+
+int kmeans_assign(const double* px, const double* py, std::size_t n_points,
+                  const double* cx, const double* cy, std::size_t n_centers, int* assignment) {
+  int changed = 0;
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t i = 0;
+  for (; i + 4 <= n_points; i += 4) {
+    const __m256d pxv = _mm256_loadu_pd(px + i);
+    const __m256d pyv = _mm256_loadu_pd(py + i);
+    __m256d best_d2 = inf;
+    __m256d best_c = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < n_centers; ++c) {
+      const __m256d dx = _mm256_sub_pd(pxv, _mm256_set1_pd(cx[c]));
+      const __m256d dy = _mm256_sub_pd(pyv, _mm256_set1_pd(cy[c]));
+      const __m256d d2 = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+      const __m256d lt = _mm256_cmp_pd(d2, best_d2, _CMP_LT_OQ);
+      best_d2 = _mm256_blendv_pd(best_d2, d2, lt);
+      best_c = _mm256_blendv_pd(best_c, _mm256_set1_pd(static_cast<double>(c)), lt);
+    }
+    double cl[4];
+    store4(best_c, cl);
+    for (int k = 0; k < 4; ++k) {
+      const int best = static_cast<int>(cl[k]);
+      if (assignment[i + static_cast<std::size_t>(k)] != best) {
+        assignment[i + static_cast<std::size_t>(k)] = best;
+        changed = 1;
+      }
+    }
+  }
+  if (i < n_points) {
+    changed |= scalar::kmeans_assign(px + i, py + i, n_points - i, cx, cy, n_centers,
+                                     assignment + i);
+  }
+  return changed;
+}
+
+void min_dist2(const double* px, const double* py, std::size_t n_points,
+               const double* cx, const double* cy, std::size_t n_centers, double* best_d2) {
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t i = 0;
+  for (; i + 4 <= n_points; i += 4) {
+    const __m256d pxv = _mm256_loadu_pd(px + i);
+    const __m256d pyv = _mm256_loadu_pd(py + i);
+    __m256d best = inf;
+    for (std::size_t c = 0; c < n_centers; ++c) {
+      const __m256d dx = _mm256_sub_pd(pxv, _mm256_set1_pd(cx[c]));
+      const __m256d dy = _mm256_sub_pd(pyv, _mm256_set1_pd(cy[c]));
+      best = _mm256_min_pd(best, _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    }
+    _mm256_storeu_pd(best_d2 + i, best);
+  }
+  if (i < n_points) {
+    scalar::min_dist2(px + i, py + i, n_points - i, cx, cy, n_centers, best_d2 + i);
+  }
+}
+
+void fspl_db(const double* dist_m, double* out, std::size_t n, double frequency_hz) {
+  const __m256d four_pi = _mm256_set1_pd(4.0 * std::numbers::pi);
+  const __m256d freq = _mm256_set1_pd(frequency_hz);
+  const __m256d c = _mm256_set1_pd(kSpeedOfLightMps);
+  const __m256d floor_m = _mm256_set1_pd(1.0);
+  const __m256d twenty = _mm256_set1_pd(20.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_max_pd(_mm256_loadu_pd(dist_m + i), floor_m);
+    // Same op order as the scalar formula: ((4*pi*d)*f)/c.
+    const __m256d arg =
+        _mm256_div_pd(_mm256_mul_pd(_mm256_mul_pd(four_pi, d), freq), c);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(twenty, log10_pd(arg)));
+  }
+  for (; i < n; ++i) {
+    out[i] = fspl_db_one(dist_m[i], frequency_hz);
+  }
+}
+
+void log_distance_db(const double* dist_m, double* out, std::size_t n, double frequency_hz,
+                     double exponent, double reference_m) {
+  const double ref_db_s = fspl_db_one(reference_m, frequency_hz);
+  const __m256d ref_db = _mm256_set1_pd(ref_db_s);
+  const __m256d ref = _mm256_set1_pd(reference_m);
+  const __m256d scale = _mm256_set1_pd(10.0 * exponent);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_max_pd(_mm256_loadu_pd(dist_m + i), ref);
+    const __m256d lg = log10_pd(_mm256_div_pd(d, ref));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(ref_db, _mm256_mul_pd(scale, lg)));
+  }
+  for (; i < n; ++i) {
+    const double d = std::max(dist_m[i], reference_m);
+    out[i] = ref_db_s + 10.0 * exponent * std::log10(d / reference_m);
+  }
+}
+
+}  // namespace skyran::kernels::avx2
+
+#endif  // x86-64

@@ -1,0 +1,69 @@
+// NEON kernel variants (aarch64 only). float64x2 is 2-wide, so only the two
+// kernels where the win is free of horizontal work — both EXACT — get NEON
+// bodies; the rest dispatch to scalar on aarch64.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <limits>
+
+#include "kernels/detail.hpp"
+
+namespace skyran::kernels::neon {
+
+int kmeans_assign(const double* px, const double* py, std::size_t n_points,
+                  const double* cx, const double* cy, std::size_t n_centers, int* assignment) {
+  int changed = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n_points; i += 2) {
+    const float64x2_t pxv = vld1q_f64(px + i);
+    const float64x2_t pyv = vld1q_f64(py + i);
+    float64x2_t best_d2 = vdupq_n_f64(std::numeric_limits<double>::infinity());
+    float64x2_t best_c = vdupq_n_f64(0.0);
+    for (std::size_t c = 0; c < n_centers; ++c) {
+      const float64x2_t dx = vsubq_f64(pxv, vdupq_n_f64(cx[c]));
+      const float64x2_t dy = vsubq_f64(pyv, vdupq_n_f64(cy[c]));
+      const float64x2_t d2 = vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+      const uint64x2_t lt = vcltq_f64(d2, best_d2);
+      best_d2 = vbslq_f64(lt, d2, best_d2);
+      best_c = vbslq_f64(lt, vdupq_n_f64(static_cast<double>(c)), best_c);
+    }
+    double cl[2];
+    vst1q_f64(cl, best_c);
+    for (int k = 0; k < 2; ++k) {
+      const int best = static_cast<int>(cl[k]);
+      if (assignment[i + static_cast<std::size_t>(k)] != best) {
+        assignment[i + static_cast<std::size_t>(k)] = best;
+        changed = 1;
+      }
+    }
+  }
+  if (i < n_points) {
+    changed |= scalar::kmeans_assign(px + i, py + i, n_points - i, cx, cy, n_centers,
+                                     assignment + i);
+  }
+  return changed;
+}
+
+void min_dist2(const double* px, const double* py, std::size_t n_points,
+               const double* cx, const double* cy, std::size_t n_centers, double* best_d2) {
+  std::size_t i = 0;
+  for (; i + 2 <= n_points; i += 2) {
+    const float64x2_t pxv = vld1q_f64(px + i);
+    const float64x2_t pyv = vld1q_f64(py + i);
+    float64x2_t best = vdupq_n_f64(std::numeric_limits<double>::infinity());
+    for (std::size_t c = 0; c < n_centers; ++c) {
+      const float64x2_t dx = vsubq_f64(pxv, vdupq_n_f64(cx[c]));
+      const float64x2_t dy = vsubq_f64(pyv, vdupq_n_f64(cy[c]));
+      best = vminq_f64(best, vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+    }
+    vst1q_f64(best_d2 + i, best);
+  }
+  if (i < n_points) {
+    scalar::min_dist2(px + i, py + i, n_points - i, cx, cy, n_centers, best_d2 + i);
+  }
+}
+
+}  // namespace skyran::kernels::neon
+
+#endif  // __aarch64__

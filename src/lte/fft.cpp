@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "geo/contract.hpp"
+#include "kernels/kernels.hpp"
 
 namespace skyran::lte {
 
@@ -107,22 +108,13 @@ CplxVec ifft(CplxVec data) {
 CplxVec multiply_conjugate(const CplxVec& a, const CplxVec& b) {
   expects(a.size() == b.size(), "multiply_conjugate: size mismatch");
   CplxVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * std::conj(b[i]);
+  kernels::multiply_conjugate(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
 std::size_t max_abs_index(const CplxVec& v) {
   expects(!v.empty(), "max_abs_index: empty input");
-  std::size_t best = 0;
-  double best_mag = std::norm(v[0]);
-  for (std::size_t i = 1; i < v.size(); ++i) {
-    const double mag = std::norm(v[i]);
-    if (mag > best_mag) {
-      best_mag = mag;
-      best = i;
-    }
-  }
-  return best;
+  return kernels::power_peak_scan(v.data(), v.size()).argmax;
 }
 
 }  // namespace skyran::lte

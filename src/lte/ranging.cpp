@@ -5,6 +5,7 @@
 
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/obs.hpp"
 #include "rf/units.hpp"
 
@@ -52,17 +53,13 @@ TofEstimate TofEstimator::estimate(const SrsSymbol& received) const {
     flagged.quality_ok = false;
     return flagged;
   }
-  std::size_t best = 0;
-  double best_mag = std::norm(up[0]);
-  double total_mag = 0.0;
-  for (std::size_t i = 0; i < window; ++i) {
-    const double m = std::norm(up[i]);
-    total_mag += m;
-    if (m > best_mag) {
-      best_mag = m;
-      best = i;
-    }
-  }
+  // Fused argmax + total-power scan over the window (kernels layer; SIMD
+  // when available). argmax/peak are exact at any level; total_mag carries
+  // the documented reduction tolerance, which only feeds the quality gate.
+  const kernels::PowerPeak pp = kernels::power_peak_scan(up.data(), window);
+  std::size_t best = pp.argmax;
+  double best_mag = pp.peak;
+  const double total_mag = pp.total;
 
   // First-arrival detection: step back from the global peak to the earliest
   // local maximum still carrying a significant fraction of the peak power.

@@ -82,14 +82,17 @@ void RemBank::seed_from_model(std::size_t ue, const rf::ChannelModel& model,
                               const rf::LinkBudget& budget) {
   expects(ue < ue_count(), "RemBank::seed_from_model: UE out of range");
   double* bg = background_.data() + ue * cells_;
-  // Same serial row-major sweep as Rem::seed_from_model (bit-identical).
+  // Same serial row-major sweep as Rem::seed_from_model (bit-identical):
+  // each row of candidate UAV positions goes through the channel's batched
+  // row evaluation, then the link budget per cell.
+  std::vector<geo::Vec3> row(static_cast<std::size_t>(nx_));
   for (int iy = 0; iy < ny_; ++iy) {
-    for (int ix = 0; ix < nx_; ++ix) {
-      const geo::Vec3 uav{center_of({ix, iy}), altitude_m_};
-      bg[static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_) +
-         static_cast<std::size_t>(ix)] =
-          budget.snr_db(model.path_loss_db(uav, ue_pos_[ue]));
-    }
+    for (int ix = 0; ix < nx_; ++ix)
+      row[static_cast<std::size_t>(ix)] = geo::Vec3{center_of({ix, iy}), altitude_m_};
+    double* out = bg + static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_);
+    model.path_loss_db_row(row.data(), row.size(), ue_pos_[ue], out);
+    for (int ix = 0; ix < nx_; ++ix)
+      out[static_cast<std::size_t>(ix)] = budget.snr_db(out[static_cast<std::size_t>(ix)]);
   }
   source_[ue] = Rem::BackgroundSource::kModel;
   full_pending_[ue] = 1;
@@ -221,59 +224,71 @@ void RemBank::estimate_all(const IdwParams& params) {
     }
   }
 
-  // One flat sweep over (ue, row) pairs on the pool; each cell is decided
-  // and recomputed independently, so chunk boundaries cannot change results.
+  // One flat sweep over (ue, tile) pairs on the pool — tiles are the same
+  // kTileCells × kTileCells blocks the dirty-distance BFS runs on, so the
+  // tile-distance lower bound is one lookup per work item instead of one per
+  // cell. Each cell is still decided and recomputed independently, so chunk
+  // boundaries cannot change results.
+  const std::size_t n_tiles = static_cast<std::size_t>(ntx) * static_cast<std::size_t>(nty);
   std::atomic<std::size_t> reestimated_total{0};
-  core::parallel_for(n_ue * static_cast<std::size_t>(ny_), [&](std::size_t row) {
-    const std::size_t ue = row / static_cast<std::size_t>(ny_);
-    const int iy = static_cast<int>(row % static_cast<std::size_t>(ny_));
-    const std::size_t base = ue * cells_ +
-                             static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_);
+  core::parallel_for(n_ue * n_tiles, [&](std::size_t item) {
+    const std::size_t ue = item / n_tiles;
+    const std::size_t t = item % n_tiles;
+    const int tx = static_cast<int>(t % static_cast<std::size_t>(ntx));
+    const int ty = static_cast<int>(t / static_cast<std::size_t>(ntx));
+    const int x0 = tx * kTileCells;
+    const int x1 = std::min(nx_, x0 + kTileCells);
+    const int y0 = ty * kTileCells;
+    const int y1 = std::min(ny_, y0 + kTileCells);
     const bool full = ue_full[ue] != 0;
     const bool blend = ue_blend[ue] != 0;
     const bool has_bg = source_[ue] != Rem::BackgroundSource::kNone;
     const bool has_fresh = fresh[ue].has_value();
-    std::size_t row_reestimated = 0;
-    for (int ix = 0; ix < nx_; ++ix) {
-      const std::size_t f = base + static_cast<std::size_t>(ix);
-      bool dirty = full || pending_[f] != 0;
-      if (!dirty && has_fresh && counts_[f] == 0 && influence_[f] > 0.0) {
-        const double r = influence_[f];
-        const int d = tile_dist[ue][static_cast<std::size_t>(
-            (iy / kTileCells) * ntx + ix / kTileCells)];
-        const double tile_lb =
-            d <= 0 ? 0.0 : ((d - 1) * kTileCells + 1) * cell_size_;
-        if (r >= tile_lb) {
-          const geo::Vec2 p = center_of({ix, iy});
-          // Bounding-box reject before the exact ring search.
-          const double dx = std::max({fresh_lo[ue].x - p.x, 0.0, p.x - fresh_hi[ue].x});
-          const double dy = std::max({fresh_lo[ue].y - p.y, 0.0, p.y - fresh_hi[ue].y});
-          if (dx * dx + dy * dy <= r * r) dirty = fresh[ue]->any_within(p, r);
+    // Hoisted per tile: the Chebyshev lower bound on the distance from any
+    // cell of this tile to the nearest fresh deposit.
+    const int d = has_fresh ? tile_dist[ue][t] : 0;
+    const double tile_lb = d <= 0 ? 0.0 : ((d - 1) * kTileCells + 1) * cell_size_;
+    std::size_t tile_reestimated = 0;
+    for (int iy = y0; iy < y1; ++iy) {
+      const std::size_t base = ue * cells_ +
+                               static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_);
+      for (int ix = x0; ix < x1; ++ix) {
+        const std::size_t f = base + static_cast<std::size_t>(ix);
+        bool dirty = full || pending_[f] != 0;
+        if (!dirty && has_fresh && counts_[f] == 0 && influence_[f] > 0.0) {
+          const double r = influence_[f];
+          if (r >= tile_lb) {
+            const geo::Vec2 p = center_of({ix, iy});
+            // Bounding-box reject before the exact ring search.
+            const double dx = std::max({fresh_lo[ue].x - p.x, 0.0, p.x - fresh_hi[ue].x});
+            const double dy = std::max({fresh_lo[ue].y - p.y, 0.0, p.y - fresh_hi[ue].y});
+            if (dx * dx + dy * dy <= r * r) dirty = fresh[ue]->any_within(p, r);
+          }
+        }
+        if (!dirty) continue;
+        ++tile_reestimated;
+        if (counts_[f] > 0) {
+          estimate_[f] = sums_[f] / counts_[f];
+          influence_[f] = 0.0;  // only a direct deposit can change a mean
+          continue;
+        }
+        const geo::Vec2 p = center_of({ix, iy});
+        const IdwInterpolator::InfluenceEstimate inf = idw[ue]->estimate_with_influence(
+            p, params.k_neighbors, params.power, params.max_radius_m);
+        influence_[f] = inf.influence_m;
+        if (inf.estimate && blend) {
+          const double w = std::exp(-inf.estimate->nearest_m / params.background_blend_m);
+          estimate_[f] = w * inf.estimate->value + (1.0 - w) * background_[f];
+        } else if (inf.estimate) {
+          estimate_[f] = inf.estimate->value;
+        } else if (has_bg) {
+          estimate_[f] = background_[f];
+        } else {
+          estimate_[f] = 0.0;
         }
       }
-      if (!dirty) continue;
-      ++row_reestimated;
-      if (counts_[f] > 0) {
-        estimate_[f] = sums_[f] / counts_[f];
-        influence_[f] = 0.0;  // only a direct deposit can change a mean
-        continue;
-      }
-      const geo::Vec2 p = center_of({ix, iy});
-      const IdwInterpolator::InfluenceEstimate inf = idw[ue]->estimate_with_influence(
-          p, params.k_neighbors, params.power, params.max_radius_m);
-      influence_[f] = inf.influence_m;
-      if (inf.estimate && blend) {
-        const double w = std::exp(-inf.estimate->nearest_m / params.background_blend_m);
-        estimate_[f] = w * inf.estimate->value + (1.0 - w) * background_[f];
-      } else if (inf.estimate) {
-        estimate_[f] = inf.estimate->value;
-      } else if (has_bg) {
-        estimate_[f] = background_[f];
-      } else {
-        estimate_[f] = 0.0;
-      }
     }
-    reestimated_total.fetch_add(row_reestimated, std::memory_order_relaxed);
+    reestimated_total.fetch_add(tile_reestimated, std::memory_order_relaxed);
   });
 
   for (std::size_t ue = 0; ue < n_ue; ++ue) {

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "geo/contract.hpp"
+#include "kernels/kernels.hpp"
 #include "rem/rasterize.hpp"
 
 namespace skyran::rem {
@@ -91,16 +92,30 @@ std::optional<IdwInterpolator::EstimateWithDistance> IdwInterpolator::weigh(
     const std::vector<IdwSample>& samples, const std::vector<Neighbor>& neighbors,
     double power) {
   if (neighbors.empty()) return std::nullopt;
-  double wsum = 0.0;
-  double vsum = 0.0;
-  for (const Neighbor& n : neighbors) {
-    const double v = samples[static_cast<std::size_t>(n.index)].value;
-    if (n.distance_m < 1e-6) return EstimateWithDistance{v, n.distance_m};  // exact hit
-    const double w = 1.0 / std::pow(n.distance_m, power);
-    wsum += w;
-    vsum += w * v;
+  // Gather to SoA and hand the accumulation to the kernels layer. The
+  // exact-hit shortcut keeps its historical first-in-order semantics: any
+  // neighbor closer than 1e-6 m wins before any weight is accumulated.
+  constexpr std::size_t kStack = 32;
+  double dist_stack[kStack];
+  double val_stack[kStack];
+  std::vector<double> heap;
+  double* dist = dist_stack;
+  double* val = val_stack;
+  if (neighbors.size() > kStack) {
+    heap.resize(2 * neighbors.size());
+    dist = heap.data();
+    val = heap.data() + neighbors.size();
   }
-  return EstimateWithDistance{vsum / wsum, neighbors.front().distance_m};
+  std::size_t n = 0;
+  for (const Neighbor& nb : neighbors) {
+    const double v = samples[static_cast<std::size_t>(nb.index)].value;
+    if (nb.distance_m < 1e-6) return EstimateWithDistance{v, nb.distance_m};  // exact hit
+    dist[n] = nb.distance_m;
+    val[n] = v;
+    ++n;
+  }
+  const kernels::IdwAccum acc = kernels::idw_weigh(dist, val, n, power);
+  return EstimateWithDistance{acc.vsum / acc.wsum, neighbors.front().distance_m};
 }
 
 std::optional<IdwInterpolator::EstimateWithDistance> IdwInterpolator::estimate_with_distance(

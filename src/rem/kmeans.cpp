@@ -7,30 +7,25 @@
 
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/obs.hpp"
 
 namespace skyran::rem {
 
 namespace {
 
-double dist2_to_nearest(const geo::Vec2& p, const std::vector<geo::Vec2>& centers) {
-  double best = std::numeric_limits<double>::infinity();
-  for (const geo::Vec2& c : centers) best = std::min(best, (p - c).norm2());
-  return best;
-}
+// SoA mirror of an AoS Vec2 sequence for the kernels-layer batch primitives.
+struct SoA2 {
+  std::vector<double> x;
+  std::vector<double> y;
 
-int nearest_center(const geo::Vec2& p, const std::vector<geo::Vec2>& centers) {
-  int best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < centers.size(); ++i) {
-    const double d = (p - centers[i]).norm2();
-    if (d < best_d) {
-      best_d = d;
-      best = static_cast<int>(i);
-    }
+  explicit SoA2(std::size_t n) : x(n), y(n) {}
+
+  void set(std::size_t i, geo::Vec2 p) {
+    x[i] = p.x;
+    y[i] = p.y;
   }
-  return best;
-}
+};
 
 }  // namespace
 
@@ -41,6 +36,11 @@ KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64
   k = std::min<int>(k, static_cast<int>(points.size()));
 
   std::mt19937_64 rng(seed);
+
+  // Point coordinates in SoA form, built once: the seeding distance sweep
+  // and the assignment sweep both run through the kernels layer.
+  SoA2 pts(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) pts.set(i, points[i].position);
 
   // k-means++ seeding: first center weighted-uniform, then proportional to
   // weighted squared distance from the chosen set.
@@ -57,11 +57,16 @@ KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64
     const auto it = std::lower_bound(cdf.begin(), cdf.end(), pick(rng));
     centers.push_back(points[static_cast<std::size_t>(it - cdf.begin())].position);
   }
+  std::vector<double> best_d2(points.size());
+  SoA2 ctr(static_cast<std::size_t>(k));
   while (static_cast<int>(centers.size()) < k) {
+    for (std::size_t c = 0; c < centers.size(); ++c) ctr.set(c, centers[c]);
+    kernels::min_dist2(pts.x.data(), pts.y.data(), points.size(), ctr.x.data(), ctr.y.data(),
+                       centers.size(), best_d2.data());
     std::vector<double> cdf(points.size());
     double total = 0.0;
     for (std::size_t i = 0; i < points.size(); ++i) {
-      total += std::max(points[i].weight, 1e-12) * dist2_to_nearest(points[i].position, centers);
+      total += std::max(points[i].weight, 1e-12) * best_d2[i];
       cdf[i] = total;
     }
     if (total <= 0.0) {
@@ -85,24 +90,22 @@ KMeansResult kmeans(const std::vector<WeightedPoint>& points, int k, std::uint64
   KMeansResult result;
   result.assignment.assign(points.size(), 0);
   for (int iter = 0; iter < max_iterations; ++iter) {
-    // Assignment sweep: each point is independent; `changed` is an OR over
-    // chunks, which is order-insensitive. Reduced as int (0/1) because
-    // parallel_reduce forbids bool: vector<bool> partials would share words
-    // across chunks and race.
-    const bool changed = core::parallel_reduce(
-                             points.size(), 0, 0,
-                             [&](std::size_t begin, std::size_t end) {
-                               int chunk_changed = 0;
-                               for (std::size_t i = begin; i < end; ++i) {
-                                 const int a = nearest_center(points[i].position, centers);
-                                 if (a != result.assignment[i]) {
-                                   result.assignment[i] = a;
-                                   chunk_changed = 1;
-                                 }
-                               }
-                               return chunk_changed;
-                             },
-                             [](int a, int b) { return a | b; }) != 0;
+    // Assignment sweep: each chunk hands its slice of the SoA arrays to the
+    // kernels-layer argmin (EXACT at every SIMD level: centers scanned in
+    // index order with strict-less update, so ties keep the lowest index).
+    // `changed` is an OR over chunks, which is order-insensitive. Reduced as
+    // int (0/1) because parallel_reduce forbids bool: vector<bool> partials
+    // would share words across chunks and race.
+    for (std::size_t c = 0; c < centers.size(); ++c) ctr.set(c, centers[c]);
+    const bool changed =
+        core::parallel_reduce(
+            points.size(), 0, 0,
+            [&](std::size_t begin, std::size_t end) {
+              return kernels::kmeans_assign(pts.x.data() + begin, pts.y.data() + begin,
+                                            end - begin, ctr.x.data(), ctr.y.data(),
+                                            centers.size(), result.assignment.data() + begin);
+            },
+            [](int a, int b) { return a | b; }) != 0;
 
     // Update sweep: recompute weighted centroids from per-chunk partials.
     CentroidSums identity{std::vector<geo::Vec2>(centers.size()),

@@ -54,10 +54,21 @@ std::optional<double> Rem::measured_snr(geo::CellIndex c) const {
 }
 
 void Rem::seed_from_model(const rf::ChannelModel& model, const rf::LinkBudget& budget) {
-  background_.for_each([&](geo::CellIndex c, double& v) {
-    const geo::Vec3 uav{background_.center_of(c), altitude_m_};
-    v = budget.snr_db(model.path_loss_db(uav, ue_position_));
-  });
+  // Row-batched through the channel's path_loss_db_row: bit-identical to the
+  // historical per-cell for_each sweep (same row-major order and argument
+  // order), but analytic channels evaluate each row in one kernels pass.
+  const int nx = background_.nx();
+  const int ny = background_.ny();
+  std::vector<geo::Vec3> row(static_cast<std::size_t>(nx));
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix)
+      row[static_cast<std::size_t>(ix)] =
+          geo::Vec3{background_.center_of({ix, iy}), altitude_m_};
+    double* out =
+        background_.raw().data() + static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx);
+    model.path_loss_db_row(row.data(), row.size(), ue_position_, out);
+    for (int ix = 0; ix < nx; ++ix) out[ix] = budget.snr_db(out[ix]);
+  }
   background_source_ = BackgroundSource::kModel;
 }
 

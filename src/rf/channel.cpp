@@ -1,6 +1,7 @@
 #include "rf/channel.hpp"
 
 #include "geo/contract.hpp"
+#include "kernels/kernels.hpp"
 #include "rf/models.hpp"
 
 namespace skyran::rf {
@@ -11,6 +12,15 @@ FsplChannel::FsplChannel(double frequency_hz) : frequency_hz_(frequency_hz) {
 
 double FsplChannel::path_loss_db(geo::Vec3 a, geo::Vec3 b) const {
   return fspl_db(a.dist(b), frequency_hz_);
+}
+
+void FsplChannel::path_loss_db_row(const geo::Vec3* a, std::size_t n, geo::Vec3 b,
+                                   double* out) const {
+  // Distances gather into `out` in place, then one fused kernels-layer pass
+  // turns them into path loss (SIMD log10 when available; scalar level is
+  // bit-identical to the per-point path).
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i].dist(b);
+  kernels::fspl_db(out, out, n, frequency_hz_);
 }
 
 RayTraceChannel::RayTraceChannel(std::shared_ptr<const terrain::Terrain> terrain,

@@ -5,6 +5,7 @@
 // seed for unexplored REM cells (Sec 3.5).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -24,6 +25,17 @@ class ChannelModel {
   /// antennas), dB. Symmetric.
   virtual double path_loss_db(geo::Vec3 a, geo::Vec3 b) const = 0;
 
+  /// Path loss from each of the `n` positions in `a` to the fixed point
+  /// `b`, written to `out`. The default is a scalar loop over path_loss_db
+  /// with the same argument order (bit-identical to calling it per point);
+  /// analytic models override it with a kernels-layer batch evaluation. REM
+  /// seeding sweeps call this once per raster row of candidate UAV
+  /// positions instead of once per cell.
+  virtual void path_loss_db_row(const geo::Vec3* a, std::size_t n, geo::Vec3 b,
+                                double* out) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = path_loss_db(a[i], b);
+  }
+
   /// Carrier frequency, Hz.
   virtual double frequency_hz() const = 0;
 };
@@ -33,6 +45,8 @@ class FsplChannel final : public ChannelModel {
  public:
   explicit FsplChannel(double frequency_hz);
   double path_loss_db(geo::Vec3 a, geo::Vec3 b) const override;
+  void path_loss_db_row(const geo::Vec3* a, std::size_t n, geo::Vec3 b,
+                        double* out) const override;
   double frequency_hz() const override { return frequency_hz_; }
 
  private:

@@ -4,22 +4,27 @@
 #include <cmath>
 
 #include "geo/contract.hpp"
+#include "kernels/kernels.hpp"
 #include "rf/units.hpp"
 
 namespace skyran::rf {
 
+// The kernels layer owns the path-loss formula (it cannot depend on rf);
+// this layer keeps its own constant for unit documentation, so pin them.
+static_assert(kSpeedOfLight == kernels::kSpeedOfLightMps,
+              "rf and kernels speed-of-light constants diverged");
+
 double fspl_db(double distance_m, double frequency_hz) {
   expects(frequency_hz > 0.0, "fspl_db: frequency must be positive");
-  const double d = std::max(distance_m, 1.0);
-  return 20.0 * std::log10(4.0 * M_PI * d * frequency_hz / kSpeedOfLight);
+  return kernels::fspl_db_one(distance_m, frequency_hz);
 }
 
 double log_distance_db(double distance_m, double frequency_hz, double exponent,
                        double reference_m) {
   expects(exponent > 0.0, "log_distance_db: exponent must be positive");
   expects(reference_m > 0.0, "log_distance_db: reference distance must be positive");
-  const double d = std::max(distance_m, reference_m);
-  return fspl_db(reference_m, frequency_hz) + 10.0 * exponent * std::log10(d / reference_m);
+  kernels::log_distance_db(&distance_m, &distance_m, 1, frequency_hz, exponent, reference_m);
+  return distance_m;
 }
 
 }  // namespace skyran::rf

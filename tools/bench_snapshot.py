@@ -6,6 +6,7 @@ Usage:
     some_bench | tools/bench_snapshot.py capture --out BENCH_foo.json
     some_bench | tools/bench_snapshot.py check BENCH_foo.json
     tools/bench_snapshot.py audit [--repo DIR] [BENCH_foo.json ...]
+    tools/bench_snapshot.py trend [--repo DIR] [BENCH_foo.json ...]
 
 `capture` wraps the bench's stdout JSON lines into one committed document.
 `check` re-validates a fresh run against the snapshot's *schema*, not its
@@ -23,6 +24,13 @@ BENCH_*.json must name a bench whose bench/<name>.cpp still exists, so a
 deleted or renamed bench fails CI loudly instead of leaving a stale
 snapshot that "passes" because nothing runs against it anymore.
 
+`trend` walks every committed git version of each snapshot (plus the
+working-tree copy, when it differs) and prints the timing trajectory —
+every *_ms field and the speedup — per bench row, so perf regressions are
+visible across the snapshot history instead of only at re-capture time.
+It fails loudly when any historical version is unparseable, renames the
+bench, or changes a row's timing-field set (schema drift).
+
 Exit status is non-zero on any drift, so CI fails when a bench silently
 changes shape, drops a scenario, or loses bit-identity.
 """
@@ -30,9 +38,14 @@ import argparse
 import glob
 import json
 import os
+import subprocess
 import sys
 
-IDENTITY_KEYS = ("bench", "kind", "scenario", "round", "ues", "ttis")
+# Keys that name WHAT a row measures (as opposed to how fast it ran).
+# "simd" and "workers" are deliberately absent: they record which dispatch
+# level / pool width the host picked, and CI machines legitimately differ.
+IDENTITY_KEYS = ("bench", "kind", "scenario", "round", "ues", "ttis",
+                 "kernel", "n", "items")
 
 
 def read_rows(stream, source):
@@ -130,6 +143,85 @@ def audit(args):
     return 0
 
 
+def row_identity(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def timing_fields(row):
+    return {k: v for k, v in row.items()
+            if k == "speedup" or k.endswith("_ms")}
+
+
+def trend(args):
+    repo = args.repo
+    snapshots = args.snapshots or sorted(glob.glob(os.path.join(repo, "BENCH_*.json")))
+    if not snapshots:
+        sys.exit(f"trend: no BENCH_*.json snapshots found under {repo!r}")
+    failures = []
+    for path in snapshots:
+        rel = os.path.relpath(path, repo)
+        log = subprocess.run(
+            ["git", "log", "--format=%h", "--reverse", "--", rel],
+            cwd=repo, capture_output=True, text=True)
+        if log.returncode != 0:
+            failures.append(f"{rel}: git log failed: {log.stderr.strip()}")
+            continue
+        history = []  # (label, parsed snapshot document)
+        for rev in log.stdout.split():
+            show = subprocess.run(["git", "show", f"{rev}:{rel}"],
+                                  cwd=repo, capture_output=True, text=True)
+            if show.returncode != 0:
+                # `git log -- path` also lists the commit that deleted the
+                # file; a missing blob there is history, not drift.
+                continue
+            try:
+                history.append((rev, json.loads(show.stdout)))
+            except json.JSONDecodeError as err:
+                failures.append(f"{rel}@{rev}: unparseable snapshot: {err}")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                worktree = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"{rel}: unreadable working-tree snapshot: {err}")
+            worktree = None
+        if worktree is not None and (not history or worktree != history[-1][1]):
+            history.append(("worktree", worktree))
+        if not history:
+            failures.append(f"{rel}: no readable snapshot versions")
+            continue
+
+        bench = history[-1][1].get("bench")
+        print(f"{rel}: {bench} across {len(history)} version(s)")
+        series = {}  # identity tuple -> [(version label, timing fields)]
+        order = []
+        for label, doc in history:
+            if doc.get("bench") != bench:
+                failures.append(f"{rel}@{label}: bench name drift: "
+                                f"{doc.get('bench')!r} vs {bench!r}")
+                continue
+            for row in doc.get("rows", []):
+                ident = row_identity(row)
+                if ident not in series:
+                    series[ident] = []
+                    order.append(ident)
+                series[ident].append((label, timing_fields(row)))
+        for ident in order:
+            points = series[ident]
+            if len({frozenset(fields) for _, fields in points}) != 1:
+                failures.append(
+                    f"{rel}: timing-field drift across versions for row "
+                    + " ".join(f"{k}={v}" for k, v in ident))
+                continue
+            name = " ".join(f"{k}={v}" for k, v in ident if k != "bench")
+            print(f"  {name or bench}")
+            for label, fields in points:
+                vals = "  ".join(f"{k}={fields[k]:.3f}" for k in sorted(fields))
+                print(f"    {label:>9}  {vals}")
+    if failures:
+        sys.exit("\n".join(failures))
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -140,11 +232,16 @@ def main(argv):
     aud = sub.add_parser("audit", help="verify snapshots name existing benches")
     aud.add_argument("--repo", default=".", help="repository root (default: cwd)")
     aud.add_argument("snapshots", nargs="*", help="explicit snapshot paths")
+    trd = sub.add_parser("trend", help="print timing history of snapshots")
+    trd.add_argument("--repo", default=".", help="repository root (default: cwd)")
+    trd.add_argument("snapshots", nargs="*", help="explicit snapshot paths")
     args = parser.parse_args(argv[1:])
     if args.command == "capture":
         return capture(args)
     if args.command == "audit":
         return audit(args)
+    if args.command == "trend":
+        return trend(args)
     return check(args)
 
 
