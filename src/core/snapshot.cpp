@@ -236,33 +236,31 @@ Snapshot Snapshot::load(std::istream& is) {
 
 // ---------------------------------------------------------- SnapshotManager
 
-SnapshotManager::SnapshotManager(std::filesystem::path dir, int keep)
-    : dir_(std::move(dir)), keep_(std::max(keep, 2)) {
+GenerationStore::GenerationStore(std::filesystem::path dir, std::string prefix,
+                                 std::string extension, int keep)
+    : dir_(std::move(dir)),
+      prefix_(std::move(prefix)),
+      extension_(std::move(extension)),
+      keep_(std::max(keep, 2)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
-  if (ec) throw SnapshotIoError("SnapshotManager: cannot create " + dir_.string());
+  if (ec) throw SnapshotIoError("GenerationStore: cannot create " + dir_.string());
 }
 
 namespace {
-
-std::string generation_name(int epoch) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "ckpt-%08d.skyc", epoch);
-  return buf;
-}
 
 #if !defined(_WIN32)
 /// Write `bytes` to `path` with fsync, visiting the mid-write crash point
 /// halfway through so the harness can tear the file at a byte boundary.
 void write_file_synced(const std::filesystem::path& path, const std::string& bytes) {
   const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) throw SnapshotIoError("SnapshotManager: cannot open " + path.string());
+  if (fd < 0) throw SnapshotIoError("GenerationStore: cannot open " + path.string());
   const auto write_all = [fd, &path](const char* p, std::size_t n) {
     while (n > 0) {
       const ssize_t w = ::write(fd, p, n);
       if (w < 0) {
         ::close(fd);
-        throw SnapshotIoError("SnapshotManager: write failed on " + path.string());
+        throw SnapshotIoError("GenerationStore: write failed on " + path.string());
       }
       p += w;
       n -= static_cast<std::size_t>(w);
@@ -274,7 +272,7 @@ void write_file_synced(const std::filesystem::path& path, const std::string& byt
   write_all(bytes.data() + half, bytes.size() - half);
   if (::fsync(fd) != 0) {
     ::close(fd);
-    throw SnapshotIoError("SnapshotManager: fsync failed on " + path.string());
+    throw SnapshotIoError("GenerationStore: fsync failed on " + path.string());
   }
   ::close(fd);
 }
@@ -293,7 +291,7 @@ void write_file_synced(const std::filesystem::path& path, const std::string& byt
   sim::crash_point("ckpt.mid_write");
   os.write(bytes.data() + half, static_cast<std::streamsize>(bytes.size() - half));
   os.flush();
-  if (!os) throw SnapshotIoError("SnapshotManager: write failed on " + path.string());
+  if (!os) throw SnapshotIoError("GenerationStore: write failed on " + path.string());
 }
 
 void sync_directory(const std::filesystem::path&) {}
@@ -301,25 +299,19 @@ void sync_directory(const std::filesystem::path&) {}
 
 }  // namespace
 
-std::filesystem::path SnapshotManager::save(const Snapshot& snapshot) {
-  SKYRAN_TRACE_SPAN("ckpt.save");
-  std::ostringstream buf;
-  snapshot.save(buf);
-  const std::string bytes = buf.str();
-
-  const std::filesystem::path final_path = dir_ / generation_name(snapshot.epoch);
+std::filesystem::path GenerationStore::save(int generation, const std::string& bytes) {
+  char num[16];
+  std::snprintf(num, sizeof(num), "%08d", generation);
+  const std::filesystem::path final_path = dir_ / (prefix_ + num + extension_);
   const std::filesystem::path tmp_path = final_path.string() + ".tmp";
   write_file_synced(tmp_path, bytes);
   sim::crash_point("ckpt.pre_rename");
   std::error_code ec;
   std::filesystem::rename(tmp_path, final_path, ec);
   if (ec)
-    throw SnapshotIoError("SnapshotManager: rename to " + final_path.string() + " failed: " +
+    throw SnapshotIoError("GenerationStore: rename to " + final_path.string() + " failed: " +
                           ec.message());
   sync_directory(dir_);
-  SKYRAN_COUNTER_INC("ckpt.saves");
-  SKYRAN_GAUGE_SET("ckpt.bytes", static_cast<double>(bytes.size()));
-  SKYRAN_GAUGE_SET("ckpt.generation", static_cast<double>(snapshot.epoch));
 
   // Prune to the newest keep_ generations plus any stray temp files from
   // older torn writes (never the temp we just renamed away).
@@ -336,22 +328,53 @@ std::filesystem::path SnapshotManager::save(const Snapshot& snapshot) {
   return final_path;
 }
 
-std::vector<std::filesystem::path> SnapshotManager::generations() const {
+std::vector<std::filesystem::path> GenerationStore::generations() const {
   std::vector<std::filesystem::path> out;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("ckpt-", 0) == 0 && entry.path().extension() == ".skyc")
-      out.push_back(entry.path());
+    if (generation_of(entry.path()) >= 0) out.push_back(entry.path());
   }
-  std::sort(out.begin(), out.end());  // zero-padded epoch: lexicographic == numeric
+  std::sort(out.begin(), out.end());  // zero-padded generation: lexicographic == numeric
   return out;
+}
+
+int GenerationStore::generation_of(const std::filesystem::path& path) const {
+  const std::string name = path.filename().string();
+  if (name.size() != prefix_.size() + 8 + extension_.size()) return -1;
+  if (name.rfind(prefix_, 0) != 0) return -1;
+  if (name.compare(name.size() - extension_.size(), extension_.size(), extension_) != 0)
+    return -1;
+  int value = 0;
+  for (std::size_t i = prefix_.size(); i < prefix_.size() + 8; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    value = value * 10 + (name[i] - '0');
+  }
+  return value;
+}
+
+SnapshotManager::SnapshotManager(std::filesystem::path dir, int keep)
+    : store_(std::move(dir), "ckpt-", ".skyc", keep) {}
+
+std::filesystem::path SnapshotManager::save(const Snapshot& snapshot) {
+  SKYRAN_TRACE_SPAN("ckpt.save");
+  std::ostringstream buf;
+  snapshot.save(buf);
+  const std::string bytes = buf.str();
+  const std::filesystem::path final_path = store_.save(snapshot.epoch, bytes);
+  SKYRAN_COUNTER_INC("ckpt.saves");
+  SKYRAN_GAUGE_SET("ckpt.bytes", static_cast<double>(bytes.size()));
+  SKYRAN_GAUGE_SET("ckpt.generation", static_cast<double>(snapshot.epoch));
+  return final_path;
+}
+
+std::vector<std::filesystem::path> SnapshotManager::generations() const {
+  return store_.generations();
 }
 
 std::optional<Snapshot> SnapshotManager::load_latest() {
   SKYRAN_TRACE_SPAN("ckpt.restore");
   last_errors_.clear();
-  std::vector<std::filesystem::path> gens = generations();
+  std::vector<std::filesystem::path> gens = store_.generations();
   for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
     std::ifstream is(*it, std::ios::binary);
     if (!is) {

@@ -110,13 +110,54 @@ struct Snapshot {
   static Snapshot load(std::istream& is);
 };
 
+/// Generation-managed, crash-safe byte-blob persistence in one directory:
+/// the atomic-write/retention machinery shared by SnapshotManager (SkyRan
+/// sessions) and scenario::CampaignCheckpointer (day-in-the-life campaigns).
+/// It knows nothing about payload formats — callers serialize, validate and
+/// fall back themselves (walk generations() newest-first, try each).
+///
+/// save() writes `<prefix><generation><extension>.tmp`, fsyncs it (visiting
+/// the ckpt.mid_write crash point halfway through), visits ckpt.pre_rename,
+/// atomically renames, fsyncs the directory, then prunes to the newest
+/// `keep` generations plus stray temp files. A SIGKILL at any byte leaves
+/// either the previous generations untouched or the new one fully durable —
+/// never a half-written visible file.
+class GenerationStore {
+ public:
+  /// Creates `dir` when missing. `prefix`/`extension` name the generation
+  /// files (e.g. "ckpt-" / ".skyc"); generation numbers are zero-padded to
+  /// eight digits so lexicographic file order equals numeric order.
+  /// Throws SnapshotIoError when the directory cannot be created.
+  GenerationStore(std::filesystem::path dir, std::string prefix, std::string extension,
+                  int keep = 2);
+
+  /// Persist `bytes` as generation `generation` (>= 0). Returns the final
+  /// path. Throws SnapshotIoError on filesystem failure.
+  std::filesystem::path save(int generation, const std::string& bytes);
+
+  /// Generation files present, oldest first.
+  std::vector<std::filesystem::path> generations() const;
+
+  /// Generation number encoded in `path`'s filename, or -1 when the name
+  /// does not match this store's prefix/extension scheme.
+  int generation_of(const std::filesystem::path& path) const;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::string prefix_;
+  std::string extension_;
+  int keep_;
+};
+
 /// Generation-managed, crash-safe checkpoint persistence in one directory.
 ///
 /// save() writes `ckpt-<epoch>.skyc.tmp`, fsyncs it, atomically renames to
 /// `ckpt-<epoch>.skyc`, fsyncs the directory, then prunes to the newest
-/// `keep` generations. A crash at any point leaves either the previous
-/// generations untouched (tmp never renamed) or the new generation fully
-/// durable — never a half-written visible file.
+/// `keep` generations (GenerationStore discipline). A crash at any point
+/// leaves either the previous generations untouched (tmp never renamed) or
+/// the new generation fully durable — never a half-written visible file.
 ///
 /// load_latest() walks generations newest-first, returning the first one
 /// that verifies; rejected generations are recorded in last_errors() and
@@ -140,11 +181,10 @@ class SnapshotManager {
   /// load_latest() walk was skipped.
   const std::vector<std::string>& last_errors() const { return last_errors_; }
 
-  const std::filesystem::path& dir() const { return dir_; }
+  const std::filesystem::path& dir() const { return store_.dir(); }
 
  private:
-  std::filesystem::path dir_;
-  int keep_;
+  GenerationStore store_;
   std::vector<std::string> last_errors_;
 };
 

@@ -91,7 +91,13 @@ std::size_t Fleet::add_ue(geo::Vec3 position, const lte::TrafficSpec& traffic) {
   last_ho_epoch_.push_back(std::numeric_limits<std::int32_t>::min() / 2);
   ue_load_bits_.push_back(0.0);
   sinr_db_.push_back(0.0);
+  ue_served_bits_.push_back(0.0);
   return ue_pos_.size() - 1;
+}
+
+void Fleet::set_ue_traffic(std::size_t ue, const lte::TrafficSpec& traffic) {
+  expects(ue < ue_spec_.size(), "Fleet::set_ue_traffic: ue out of range");
+  ue_spec_[ue] = traffic;
 }
 
 void Fleet::set_ue_position(std::size_t ue, geo::Vec3 position) {
@@ -250,6 +256,7 @@ void Fleet::phase_serve(FleetEpochReport& report) {
 
   report.cell_prb_util.assign(c_count, 0.0);
   report.cell_ues.assign(c_count, 0);
+  ue_served_bits_.assign(n, 0.0);
   const double epoch_seconds = config_.ttis_per_epoch * lte::kTtiSeconds;
   for (std::size_t c = 0; c < c_count; ++c) {
     const std::uint32_t begin = cell_begin_[c];
@@ -294,9 +301,12 @@ void Fleet::phase_serve(FleetEpochReport& report) {
       needed_prbs += plane.offered_bits(k - begin) / rate_1prb;
     }
     util_[c] = std::min(1.0, needed_prbs / grid_prbs);
+    report.offered_bits += cell_report.offered_bits;
     report.served_bits += cell_report.served_bits;
-    for (std::uint32_t k = begin; k < end; ++k)
+    for (std::uint32_t k = begin; k < end; ++k) {
       ue_load_bits_[members_[k]] = plane.offered_bits(k - begin) + plane.served_bits(k - begin);
+      ue_served_bits_[members_[k]] = plane.served_bits(k - begin);
+    }
   }
   report.aggregate_throughput_bps = report.served_bits / epoch_seconds;
   total_served_bits_ += report.served_bits;

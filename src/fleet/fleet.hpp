@@ -143,6 +143,7 @@ struct FleetEpochReport {
   double mean_sinr_db = 0.0;
 
   // Traffic plane, aggregated over cells.
+  double offered_bits = 0.0;  ///< arrivals (full-buffer UEs excluded)
   double served_bits = 0.0;
   double aggregate_throughput_bps = 0.0;
   double max_prb_util = 0.0;   ///< hottest cell's PRB utilization in [0, 1]
@@ -178,6 +179,13 @@ class Fleet {
   /// measure phase.
   void set_ue_position(std::size_t ue, geo::Vec3 position);
 
+  /// Replace a UE's traffic model (scenario driver hook: diurnal load
+  /// scaling, flash crowds). Takes effect at the next epoch's serve phase.
+  /// Specs are NOT persisted by save(): a restoring driver that mutates
+  /// specs must re-apply them deterministically before resuming (the
+  /// scenario::Campaign derives them from (config, hour)).
+  void set_ue_traffic(std::size_t ue, const lte::TrafficSpec& traffic);
+
   /// Move a cell (external placement driver hook).
   void set_cell_position(std::size_t cell, geo::Vec3 position);
 
@@ -209,6 +217,9 @@ class Fleet {
   /// fraction of the TTI x PRB grid the members' offered traffic needs at
   /// their channel quality (1.0 = saturated; full-buffer members pin it).
   double prb_utilization(std::size_t cell) const { return util_[cell]; }
+  /// Bits delivered to `ue` by the last epoch's serve phase (per-epoch
+  /// scratch, not cumulative); meaningless before the first epoch.
+  double ue_served_bits(std::size_t ue) const { return ue_served_bits_[ue]; }
 
   // Cumulative counters (monotonic across epochs; persisted).
   std::uint64_t total_attaches() const { return total_attaches_; }
@@ -270,6 +281,7 @@ class Fleet {
   // UE slabs (scratch, rebuilt every epoch; excluded from hash/save).
   std::vector<double> rsrp_dbm_;          ///< n_ues x n_cells, UE-major
   std::vector<double> sinr_db_;
+  std::vector<double> ue_served_bits_;    ///< last serve phase, per UE
   std::vector<std::uint8_t> pending_;     ///< 0 none, 1 in-TTT, 2 execute, 3 attach
 
   // Serve-phase scratch.

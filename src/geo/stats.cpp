@@ -22,16 +22,23 @@ double stddev(std::span<const double> xs) {
   return std::sqrt(sq / static_cast<double>(xs.size()));
 }
 
+double percentile_sorted(std::span<const double> sorted, double p) {
+  expects(p >= 0.0 && p <= 1.0, "percentile_sorted: p must be in [0,1]");
+  if (sorted.empty()) return 0.0;  // explicit contract: empty sample -> 0.0
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  // pos >= 0, so truncation and std::floor agree; hi is clamped rather than
+  // ceil'd so p == 1 stays exactly the max order statistic.
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 double percentile(std::span<const double> xs, double p) {
   expects(!xs.empty(), "percentile: empty input");
-  expects(p >= 0.0 && p <= 1.0, "percentile: p must be in [0,1]");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  const double pos = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return percentile_sorted(sorted, p);
 }
 
 double median(std::span<const double> xs) { return percentile(xs, 0.5); }

@@ -13,8 +13,20 @@ double mean(std::span<const double> xs);
 /// Population standard deviation; 0 for fewer than two samples.
 double stddev(std::span<const double> xs);
 
+/// p-th percentile (p in [0,1]) of an ALREADY ASCENDING-SORTED sample, by
+/// linear interpolation between order statistics. This is the one percentile
+/// implementation in the repo; `percentile` sorts a copy and delegates here.
+///
+/// Empty-input contract (explicit, pinned by tests/test_geo.cpp): an empty
+/// sample yields 0.0. Aggregate-report assembly (e.g. lte::TrafficPlane
+/// percentile fields) treats "no samples yet" as a zero statistic rather
+/// than an error; callers for whom an empty sample is a logic bug should
+/// use `percentile`, which throws. p outside [0,1] throws either way.
+double percentile_sorted(std::span<const double> sorted, double p);
+
 /// p-th percentile (p in [0,1]) by linear interpolation between order
-/// statistics. Throws ContractViolation for an empty input or p out of range.
+/// statistics (sorts a copy, then percentile_sorted). Throws
+/// ContractViolation for an empty input or p out of range.
 double percentile(std::span<const double> xs, double p);
 
 /// Median (50th percentile).

@@ -14,9 +14,13 @@ GpsTofSeries collect_gps_tof(const std::vector<uav::FlightSample>& flight, geo::
                              const rf::LinkBudget& budget, uav::GpsSensor& gps,
                              const RangingConfig& config, std::mt19937_64& rng,
                              RangingFaultModel* faults) {
-  expects(flight.size() >= 2, "collect_gps_tof: need at least two flight samples");
   expects(config.srs_rate_hz >= config.gps_rate_hz,
           "collect_gps_tof: SRS must report at least as fast as GPS");
+  // An empty or single-point flight has zero measurement intervals. Bail out
+  // before the interval count below: `flight.size() - 1` on a std::size_t
+  // would underflow an empty flight to ~2^64 intervals. Depot-swapped UAVs
+  // (scenario campaigns) legitimately produce zero-length flights.
+  if (flight.size() < 2) return {};
 
   const lte::SrsSymbol tx = lte::make_srs_symbol(config.srs);
   const lte::TofEstimator estimator(config.srs, config.k_factor, 0.0, 0.6, true,

@@ -85,6 +85,9 @@ class ChannelLosOracle final : public LosOracle {
 /// Collect GPS-ToF tuples for one UE over a flown trajectory.
 ///
 /// `flight` must be sampled at the GPS rate (uav::fly with dt = 1/gps_rate).
+/// A flight with fewer than two samples has no measurement interval and
+/// yields an empty series — legitimate for a UAV that spent the whole epoch
+/// at the depot (battery swap) or had its tour truncated to nothing.
 /// `channel` provides true path losses (for SRS SNR); `los` drives the
 /// multipath profile; `gps` adds receiver position noise. `faults`, when
 /// non-null, injects scripted SRS loss / SNR sag / GPS outage windows; the

@@ -6,6 +6,7 @@
 
 #include "core/thread_pool.hpp"
 #include "geo/contract.hpp"
+#include "geo/stats.hpp"
 #include "obs/obs.hpp"
 
 namespace skyran::lte {
@@ -54,15 +55,6 @@ void hash_bytes(std::uint64_t& h, const void* data, std::size_t bytes) {
 template <typename T>
 void hash_vec(std::uint64_t& h, const std::vector<T>& v) {
   if (!v.empty()) hash_bytes(h, v.data(), v.size() * sizeof(T));
-}
-
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 }  // namespace
@@ -572,12 +564,12 @@ TrafficPlaneReport TrafficPlane::report() const {
       sum_sq > 0.0 ? (sum * sum) / (static_cast<double>(n_ues_) * sum_sq) : 1.0;
   std::sort(throughput.begin(), throughput.end());
   std::sort(delay.begin(), delay.end());
-  r.p50_throughput_bps = percentile(throughput, 0.50);
-  r.p90_throughput_bps = percentile(throughput, 0.90);
-  r.p99_throughput_bps = percentile(throughput, 0.99);
-  r.p50_delay_ms = percentile(delay, 0.50);
-  r.p90_delay_ms = percentile(delay, 0.90);
-  r.p99_delay_ms = percentile(delay, 0.99);
+  r.p50_throughput_bps = geo::percentile_sorted(throughput, 0.50);
+  r.p90_throughput_bps = geo::percentile_sorted(throughput, 0.90);
+  r.p99_throughput_bps = geo::percentile_sorted(throughput, 0.99);
+  r.p50_delay_ms = geo::percentile_sorted(delay, 0.50);
+  r.p90_delay_ms = geo::percentile_sorted(delay, 0.90);
+  r.p99_delay_ms = geo::percentile_sorted(delay, 0.99);
   return r;
 }
 

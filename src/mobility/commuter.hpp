@@ -1,0 +1,69 @@
+// Commuter-flow mobility for day-in-the-life campaigns: a population of UEs
+// that lives in residential clusters, walks L-shaped Manhattan paths to
+// office clusters across a staggered morning window, and flows back across
+// the evening window.
+//
+// Everything here is a pure function of (plan, ue, hour-of-day): there is no
+// internal state, no RNG object, no history. That is deliberate — the
+// scenario::Campaign resume contract requires that UE positions at any
+// (hour, epoch) can be recomputed after a crash without replaying the hours
+// in between, so positions must never depend on an evolving random walk.
+// All randomness (cluster centers, per-UE home/office draw, departure
+// stagger) is counter-based off plan.seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geo/vec.hpp"
+
+namespace skyran::mobility {
+
+/// Parameters of one commuter population. Cluster centers and per-UE
+/// assignments are derived from `seed`; the commute windows are wall-clock
+/// hours of a 24 h day (fractional hours allowed).
+struct CommuterPlan {
+  geo::Vec2 area_min{0.0, 0.0};
+  geo::Vec2 area_max{1200.0, 1200.0};
+  /// Manhattan street grid the walkers snap to: avenues run north-south
+  /// every pitch_x, streets east-west every pitch_y (terrain::make_nyc uses
+  /// 85 m / 65 m; defaults match).
+  double street_pitch_x_m = 85.0;
+  double street_pitch_y_m = 65.0;
+  int residential_clusters = 3;
+  int office_clusters = 2;
+  double cluster_radius_m = 90.0;
+  /// Morning commute window [start, end): walkers depart staggered across
+  /// the first 30% of the window and spend the rest walking.
+  double morning_start_h = 7.0;
+  double morning_end_h = 9.5;
+  /// Evening window, office -> home.
+  double evening_start_h = 17.0;
+  double evening_end_h = 19.5;
+  std::uint64_t seed = 1;
+};
+
+/// Snap `p` to the nearest street-grid line (whichever of the nearest avenue
+/// or nearest street is closer), clamped into [area_min, area_max].
+geo::Vec2 snap_to_street_grid(const CommuterPlan& plan, geo::Vec2 p);
+
+/// UE's home: a counter-random point inside its residential cluster, snapped
+/// to the street grid. Pure function of (plan, ue).
+geo::Vec2 commuter_home(const CommuterPlan& plan, std::size_t ue);
+
+/// UE's office: same construction over the office clusters.
+geo::Vec2 commuter_office(const CommuterPlan& plan, std::size_t ue);
+
+/// Fraction of the home->office walk completed at hour-of-day `hour`
+/// (in [0, 24)): 0 before this UE departs in the morning window, 1 from
+/// morning arrival until its evening departure, back to 0 after the evening
+/// walk. Monotone within each window; per-UE departure stagger decorrelates
+/// the flow so the population drains gradually, not as one step.
+double commute_progress(const CommuterPlan& plan, std::size_t ue, double hour);
+
+/// Position at hour-of-day `hour` in [0, 24): home / office at rest, and an
+/// L-shaped Manhattan walk (east-west leg along the home street first, then
+/// north-south along the office avenue) while commuting.
+geo::Vec2 commuter_position(const CommuterPlan& plan, std::size_t ue, double hour);
+
+}  // namespace skyran::mobility

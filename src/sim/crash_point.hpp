@@ -11,6 +11,8 @@
 //   epoch.localize / epoch.estimate / epoch.place / epoch.serve
 //     after the matching run_epoch phase completes;
 //   epoch.steer      end of a fleet::Fleet epoch, after the steering step;
+//   hour.tick        end of a scenario::Campaign hour, after the hour's
+//                    report row is appended;
 //   ckpt.mid_write   halfway through writing a checkpoint's temp file;
 //   ckpt.pre_rename  temp file complete + fsynced, before the atomic rename.
 #pragma once

@@ -30,6 +30,7 @@
 #include "core/snapshot.hpp"
 #include "fleet/fleet.hpp"
 #include "rf/channel.hpp"
+#include "scenario/campaign.hpp"
 #include "sim/crash_point.hpp"
 #include "snapshot_campaign.hpp"
 
@@ -361,5 +362,141 @@ TEST_P(FleetCrashRecoveryTest, KillAtPointResumesBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(FleetPhases, FleetCrashRecoveryTest,
                          testing::Values(CrashCase{"epoch.steer", true}), case_name);
+
+// ---------------------------------------------------------------------------
+// scenario::Campaign kill-at-hour.tick recovery. The reference child always
+// runs serial; the crash/resume children run at the parameterized worker
+// count (1 and 8), so the stitched per-hour digests and the final campaign
+// digest prove both the resume contract and the serial == N-worker identity
+// in one pass. Same fork discipline: only children construct campaigns
+// (Campaign::run_hour spins up fleet pool threads).
+// ---------------------------------------------------------------------------
+
+constexpr int kCampaignHours = 4;
+
+scenario::CampaignConfig crash_campaign_config(int threads) {
+  scenario::CampaignConfig cfg = scenario::example_day_config(0xCA54ULL, 30, 2);
+  cfg.hours = kCampaignHours;
+  cfg.epochs_per_hour = 2;
+  cfg.threads = threads;
+  cfg.fleet.ttis_per_epoch = 20;
+  cfg.base_rate_bps = 2e5;
+  return cfg;
+}
+
+/// Uninterrupted serial reference: one hour_digest line per hour, then the
+/// whole-campaign digest.
+[[noreturn]] void campaign_child_reference(const fs::path& out) {
+  scenario::Campaign campaign(crash_campaign_config(1));
+  std::ofstream os(out);
+  while (!campaign.done()) {
+    write_digest_line(os, scenario::hour_digest(campaign.run_hour()));
+  }
+  write_digest_line(os, scenario::campaign_digest(campaign.report()));
+  _exit(kChildOk);
+}
+
+[[noreturn]] void campaign_child_crasher(const fs::path& ckpt_dir, const fs::path& out,
+                                         int threads) {
+  sim::arm_crash_point("hour.tick", kCrashHit);
+  scenario::Campaign campaign(crash_campaign_config(threads));
+  scenario::CampaignCheckpointer ckpt(ckpt_dir, 2);
+  std::ofstream os(out);
+  while (!campaign.done()) {
+    const scenario::HourReport hr = campaign.run_hour();
+    write_digest_line(os, scenario::hour_digest(hr));
+    ckpt.save(campaign);
+  }
+  _exit(kChildSurvivedCrash);
+}
+
+[[noreturn]] void campaign_child_resumer(const fs::path& ckpt_dir, const fs::path& out,
+                                         int threads) {
+  scenario::Campaign campaign(crash_campaign_config(threads));
+  scenario::CampaignCheckpointer ckpt(ckpt_dir, 2);
+  const std::optional<int> hour = ckpt.restore_latest(campaign);
+  if (!hour.has_value()) _exit(kChildNoCheckpoint);
+  std::ofstream os(out);
+  os << "resumed_from " << *hour << '\n';
+  os.flush();
+  while (!campaign.done()) {
+    write_digest_line(os, scenario::hour_digest(campaign.run_hour()));
+  }
+  write_digest_line(os, scenario::campaign_digest(campaign.report()));
+  _exit(kChildOk);
+}
+
+class CampaignCrashRecoveryTest : public testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("skyran_campaign_crash_" + std::to_string(GetParam()) + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "ckpt");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_P(CampaignCrashRecoveryTest, KillAtHourTickResumesBitIdentical) {
+  const int workers = GetParam();
+  const fs::path ref_file = dir_ / "ref.txt";
+  const fs::path crash_file = dir_ / "crash.txt";
+  const fs::path resume_file = dir_ / "resume.txt";
+  const fs::path ckpt_dir = dir_ / "ckpt";
+
+  const int ref_status = run_child([&] { campaign_child_reference(ref_file); });
+  ASSERT_TRUE(WIFEXITED(ref_status)) << "reference child did not exit cleanly";
+  ASSERT_EQ(WEXITSTATUS(ref_status), kChildOk);
+  // kCampaignHours hour digests plus the final campaign digest.
+  const std::vector<std::uint64_t> ref = read_digest_file(ref_file);
+  ASSERT_EQ(ref.size(), static_cast<std::size_t>(kCampaignHours + 1));
+
+  const int crash_status =
+      run_child([&] { campaign_child_crasher(ckpt_dir, crash_file, workers); });
+  ASSERT_TRUE(WIFSIGNALED(crash_status))
+      << "crash child exited with status "
+      << (WIFEXITED(crash_status) ? WEXITSTATUS(crash_status) : -1)
+      << " instead of dying at hour.tick";
+  ASSERT_EQ(WTERMSIG(crash_status), SIGKILL);
+
+  // hour.tick is the last statement of run_hour: the kill at visit 3 fires
+  // inside hour 3, so digests and checkpoints exist for hours 1..2 only.
+  const std::vector<std::uint64_t> pre_crash = read_digest_file(crash_file);
+  ASSERT_EQ(pre_crash.size(), static_cast<std::size_t>(kCrashHit - 1));
+
+  const int resume_status =
+      run_child([&] { campaign_child_resumer(ckpt_dir, resume_file, workers); });
+  ASSERT_TRUE(WIFEXITED(resume_status)) << "resume child crashed";
+  ASSERT_EQ(WEXITSTATUS(resume_status), kChildOk)
+      << (WEXITSTATUS(resume_status) == kChildNoCheckpoint
+              ? "no campaign checkpoint survived the crash"
+              : "campaign resume child failed");
+
+  std::ifstream rs(resume_file);
+  std::string tag;
+  int resumed_from = -1;
+  ASSERT_TRUE(rs >> tag >> resumed_from);
+  ASSERT_EQ(tag, "resumed_from");
+  ASSERT_EQ(resumed_from, kCrashHit - 1);
+
+  std::vector<std::uint64_t> resumed;
+  std::uint64_t d = 0;
+  while (rs >> d) resumed.push_back(d);
+  ASSERT_EQ(resumed.size(), static_cast<std::size_t>(kCampaignHours - resumed_from + 1));
+
+  // Stitch pre-crash hour digests with the resumed hours and final digest;
+  // the whole line must match the uninterrupted serial reference.
+  std::vector<std::uint64_t> stitched(pre_crash.begin(), pre_crash.begin() + resumed_from);
+  stitched.insert(stitched.end(), resumed.begin(), resumed.end());
+  EXPECT_EQ(stitched, ref) << "resumed campaign diverged from the uninterrupted run";
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CampaignCrashRecoveryTest, testing::Values(1, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return info.param == 1 ? std::string("serial")
+                                                  : "workers" + std::to_string(info.param);
+                         });
 
 }  // namespace

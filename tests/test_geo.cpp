@@ -2,7 +2,9 @@
 // paths, statistics and the value-noise field.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "geo/contract.hpp"
 #include "geo/grid.hpp"
@@ -191,6 +193,30 @@ TEST(StatsTest, PercentileInterpolates) {
 TEST(StatsTest, PercentileUnsortedInput) {
   const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
   EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(StatsTest, PercentileSortedEmptyContractAndParity) {
+  // The explicit empty-input contract: percentile_sorted yields 0.0 where
+  // percentile (sort-copy + delegate) throws. Aggregate-report assembly
+  // (lte::TrafficPlane percentile fields) depends on the 0.0 branch.
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_THROW(percentile_sorted({}, 1.5), ContractViolation);
+  // Randomized parity: on any sorted sample the two entry points agree
+  // bit-for-bit at arbitrary probabilities (one shared implementation).
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  std::uniform_real_distribution<double> prob(0.0, 1.0);
+  std::uniform_int_distribution<int> size(1, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> xs(static_cast<std::size_t>(size(rng)));
+    for (double& x : xs) x = value(rng);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const double p = prob(rng);
+    EXPECT_DOUBLE_EQ(percentile(xs, p), percentile_sorted(sorted, p));
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), sorted.back());
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), sorted.front());
+  }
 }
 
 TEST(StatsTest, PercentileContractViolations) {

@@ -163,6 +163,25 @@ TEST_F(PipelineFixture, LowSnrReportsDropped) {
   EXPECT_TRUE(tuples.empty());
 }
 
+TEST_F(PipelineFixture, EmptyOrSinglePointFlightYieldsEmptySeries) {
+  // Regression: `flight.size() - 1` on a std::size_t underflowed an empty
+  // flight to ~2^64 intervals. A UAV that spent the whole epoch at the depot
+  // (battery swap) legitimately hands the pipeline a zero-length flight.
+  RangingConfig rc;
+  const ChannelLosOracle los(world_->channel());
+  uav::GpsSensor gps(6);
+  std::mt19937_64 rng(7);
+  const geo::Vec3 ue = world_->ue_positions()[0];
+  const std::vector<uav::FlightSample> empty;
+  EXPECT_TRUE(
+      collect_gps_tof(empty, ue, world_->channel(), los, world_->budget(), gps, rc, rng)
+          .empty());
+  const std::vector<uav::FlightSample> single{{0.0, {150.0, 150.0, 60.0}, 0.0}};
+  EXPECT_TRUE(
+      collect_gps_tof(single, ue, world_->channel(), los, world_->budget(), gps, rc, rng)
+          .empty());
+}
+
 TEST_F(PipelineFixture, LocalizerEndToEndAccuracy) {
   LocalizerConfig lc;
   const UeLocalizer localizer(world_->channel(), world_->budget(), lc);

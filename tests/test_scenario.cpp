@@ -1,0 +1,330 @@
+// scenario::Campaign suite: the deterministic demand/mobility shapes
+// (diurnal curve, commuter flow, flash crowds), the serial == 8-worker
+// bit-identity of a whole campaign report, battery-swap logistics, the
+// save/restore round-trip with fingerprint/corruption rejection (strong
+// guarantee), and CampaignCheckpointer generation fallback. No fork-based
+// tests live here — this binary runs under TSan in CI; the kill-at-hour.tick
+// crash case is in tests/test_crash_recovery.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "geo/binio.hpp"
+#include "geo/contract.hpp"
+#include "mobility/commuter.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/shapes.hpp"
+
+namespace {
+
+using namespace skyran;
+
+// Small but fully featured: weather fronts, crowds and a battery pool that
+// trips its reserve within the horizon (2400 Wh at 1200 W hover and 1800 s
+// epochs drains 600 Wh per epoch).
+scenario::CampaignConfig tiny_campaign(int threads = 1, int hours = 3) {
+  scenario::CampaignConfig cfg = scenario::example_day_config(0xDA11ULL, 40, 2);
+  cfg.hours = hours;
+  cfg.epochs_per_hour = 2;
+  cfg.threads = threads;
+  cfg.fleet.ttis_per_epoch = 40;
+  cfg.base_rate_bps = 2e5;
+  return cfg;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// --- shapes -----------------------------------------------------------------
+
+TEST(Diurnal, FloorBumpsAndClamp) {
+  const scenario::DiurnalCurve c;
+  // Deep night sits near the floor (the bumps' tails still contribute).
+  double night_min = 1.0;
+  for (double h = 1.0; h < 6.0; h += 0.1) {
+    night_min = std::min(night_min, scenario::diurnal_level(c, h));
+  }
+  EXPECT_GE(night_min, c.night_floor);
+  EXPECT_LT(night_min, c.night_floor + 0.1);
+  EXPECT_GT(scenario::diurnal_level(c, c.morning_peak_h), 0.5);
+  EXPECT_DOUBLE_EQ(scenario::diurnal_level(c, c.evening_peak_h), 1.0);  // clamped
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    const double level = scenario::diurnal_level(c, h);
+    EXPECT_GT(level, 0.0);
+    EXPECT_LE(level, 1.0);
+  }
+  // 24 h wrap: the curve is continuous across midnight.
+  EXPECT_NEAR(scenario::diurnal_level(c, 23.999), scenario::diurnal_level(c, 0.001), 1e-3);
+}
+
+TEST(FlashCrowdShape, TrapezoidEngagement) {
+  scenario::FlashCrowd c;
+  c.start_h = 18.0;
+  c.fill_h = 1.0;
+  c.hold_h = 2.0;
+  c.drain_h = 1.0;
+  EXPECT_DOUBLE_EQ(scenario::crowd_engagement(c, 18.0), 0.0);
+  EXPECT_DOUBLE_EQ(scenario::crowd_engagement(c, 18.5), 0.5);
+  EXPECT_DOUBLE_EQ(scenario::crowd_engagement(c, 20.0), 1.0);
+  EXPECT_DOUBLE_EQ(scenario::crowd_engagement(c, 21.5), 0.5);
+  EXPECT_DOUBLE_EQ(scenario::crowd_engagement(c, 22.5), 0.0);
+  EXPECT_DOUBLE_EQ(scenario::crowd_engagement(c, 3.0), 0.0);
+}
+
+TEST(FlashCrowdShape, StadiumPullsMembersIntoVenue) {
+  scenario::FlashCrowd c;
+  c.kind = scenario::CrowdKind::kStadium;
+  c.center = {500.0, 500.0};
+  c.radius_m = 80.0;
+  c.ue_fraction = 0.5;
+  int members = 0;
+  for (std::size_t ue = 0; ue < 200; ++ue) {
+    if (!scenario::crowd_applies(c, ue, {0.0, 0.0}, 7, 1)) continue;
+    ++members;
+    const geo::Vec2 seated = scenario::crowd_position(c, {0.0, 0.0}, ue, 1.0, 7, 1);
+    EXPECT_LE(seated.dist(c.center), c.radius_m + 1e-9);
+  }
+  // Counter-random attendance should land near the configured fraction.
+  EXPECT_GT(members, 60);
+  EXPECT_LT(members, 140);
+  EXPECT_DOUBLE_EQ(scenario::crowd_rate_multiplier(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(scenario::crowd_rate_multiplier(c, 1.0), c.rate_boost);
+}
+
+TEST(FlashCrowdShape, EvacuationPushesOutOnlyInsideRadius) {
+  scenario::FlashCrowd c;
+  c.kind = scenario::CrowdKind::kEvacuation;
+  c.center = {100.0, 100.0};
+  c.radius_m = 50.0;
+  const geo::Vec2 inside{110.0, 100.0};
+  const geo::Vec2 outside{400.0, 400.0};
+  EXPECT_TRUE(scenario::crowd_applies(c, 0, inside, 7, 1));
+  EXPECT_FALSE(scenario::crowd_applies(c, 0, outside, 7, 1));
+  const geo::Vec2 fled = scenario::crowd_position(c, inside, 0, 1.0, 7, 1);
+  EXPECT_NEAR(fled.dist(c.center), 2.5 * c.radius_m, 1e-9);
+}
+
+// --- commuter flow ----------------------------------------------------------
+
+TEST(Commuter, HomeOfficeAndRestPhases) {
+  mobility::CommuterPlan plan;
+  plan.seed = 42;
+  for (std::size_t ue = 0; ue < 50; ++ue) {
+    const geo::Vec2 home = mobility::commuter_home(plan, ue);
+    const geo::Vec2 office = mobility::commuter_office(plan, ue);
+    EXPECT_EQ(mobility::commuter_position(plan, ue, 3.0), home);
+    EXPECT_EQ(mobility::commuter_position(plan, ue, 12.0), office);
+    EXPECT_EQ(mobility::commuter_position(plan, ue, 23.0), home);
+  }
+}
+
+TEST(Commuter, ProgressMonotoneAndStaggered) {
+  mobility::CommuterPlan plan;
+  plan.seed = 42;
+  for (std::size_t ue = 0; ue < 20; ++ue) {
+    double prev = -1.0;
+    for (double h = plan.morning_start_h; h <= plan.morning_end_h; h += 0.05) {
+      const double s = mobility::commute_progress(plan, ue, h);
+      EXPECT_GE(s, prev);
+      prev = s;
+    }
+    EXPECT_DOUBLE_EQ(prev, 1.0);  // everyone arrives by the window's end
+  }
+  // Stagger: at the same instant mid-window, different UEs are at different
+  // points of the walk.
+  const double mid = 0.5 * (plan.morning_start_h + plan.morning_end_h);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (std::size_t ue = 0; ue < 50; ++ue) {
+    const double s = mobility::commute_progress(plan, ue, mid);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, hi);
+}
+
+TEST(Commuter, WalkStaysOnLPathInsideArea) {
+  mobility::CommuterPlan plan;
+  plan.seed = 7;
+  for (std::size_t ue = 0; ue < 20; ++ue) {
+    const geo::Vec2 home = mobility::commuter_home(plan, ue);
+    const geo::Vec2 office = mobility::commuter_office(plan, ue);
+    for (double h = plan.morning_start_h; h < plan.morning_end_h; h += 0.1) {
+      const geo::Vec2 p = mobility::commuter_position(plan, ue, h);
+      EXPECT_GE(p.x, plan.area_min.x);
+      EXPECT_LE(p.x, plan.area_max.x);
+      EXPECT_GE(p.y, plan.area_min.y);
+      EXPECT_LE(p.y, plan.area_max.y);
+      // Every point of the L sits on the home street or the office avenue.
+      EXPECT_TRUE(std::abs(p.y - home.y) < 1e-9 || std::abs(p.x - office.x) < 1e-9);
+    }
+  }
+}
+
+TEST(Commuter, SnapLandsOnGridLine) {
+  mobility::CommuterPlan plan;
+  for (double x = 3.0; x < 1200.0; x += 97.3) {
+    for (double y = 11.0; y < 1200.0; y += 89.7) {
+      const geo::Vec2 p = mobility::snap_to_street_grid(plan, {x, y});
+      const double ax = std::abs(p.x / plan.street_pitch_x_m -
+                                 std::round(p.x / plan.street_pitch_x_m));
+      const double sy = std::abs(p.y / plan.street_pitch_y_m -
+                                 std::round(p.y / plan.street_pitch_y_m));
+      EXPECT_TRUE(ax < 1e-9 || sy < 1e-9) << "off-grid point " << p.x << "," << p.y;
+    }
+  }
+}
+
+// --- campaign ---------------------------------------------------------------
+
+TEST(Campaign, SerialEqualsEightWorkers) {
+  scenario::Campaign serial(tiny_campaign(1));
+  scenario::Campaign parallel(tiny_campaign(8));
+  const scenario::CampaignReport a = serial.run();
+  const scenario::CampaignReport b = parallel.run();
+  EXPECT_EQ(scenario::campaign_digest(a), scenario::campaign_digest(b));
+  EXPECT_EQ(serial.state_hash(), parallel.state_hash());
+}
+
+TEST(Campaign, ReportWellFormed) {
+  scenario::Campaign campaign(tiny_campaign());
+  const scenario::CampaignReport rep = campaign.run();
+  EXPECT_EQ(rep.hours, 3);
+  EXPECT_EQ(rep.epochs, 6);
+  ASSERT_EQ(rep.by_hour.size(), 3u);
+  EXPECT_GE(rep.availability, 0.0);
+  EXPECT_LE(rep.availability, 1.0);
+  EXPECT_LE(rep.min_hour_availability, rep.availability);
+  EXPECT_GT(rep.served_bits, 0.0);
+  EXPECT_GE(rep.offered_bits, rep.served_bits * 0.5);
+  EXPECT_GT(rep.energy_wh, 0.0);
+  EXPECT_GT(rep.energy_wh_per_gbit, 0.0);
+  for (const scenario::HourReport& hr : rep.by_hour) {
+    EXPECT_GT(hr.diurnal_level, 0.0);
+    EXPECT_LE(hr.p5_tput_bps, hr.p50_tput_bps);
+    EXPECT_LE(hr.p50_tput_bps, hr.p95_tput_bps);
+  }
+  EXPECT_TRUE(campaign.done());
+  EXPECT_THROW(campaign.run_hour(), ContractViolation);
+}
+
+TEST(Campaign, BatterySwapRotatesThroughDepot) {
+  scenario::Campaign campaign(tiny_campaign());
+  const scenario::CampaignReport rep = campaign.run();
+  // 2400 Wh pool at 600 Wh per 1800 s epoch trips the reserve within the
+  // 3 h horizon for every cell.
+  EXPECT_GT(rep.swaps, 0u);
+  EXPECT_GT(rep.depot_epochs, 0u);
+  // Everyone who swapped came back with a fresh pack; nobody is stranded
+  // below the reserve with the swap already spent.
+  for (std::size_t c = 0; c < campaign.cell_count(); ++c) {
+    if (!campaign.cell_at_depot(c)) {
+      EXPECT_GT(campaign.cell_battery_fraction(c), 0.0);
+    }
+  }
+}
+
+TEST(Campaign, DiurnalLevelModulatesOfferedLoad) {
+  // Same population, one hour at night vs one hour at the evening peak: the
+  // diurnal multiplier must show up in offered bits.
+  scenario::CampaignConfig cfg = tiny_campaign(1, 24);
+  scenario::Campaign campaign(cfg);
+  std::vector<scenario::HourReport> rows;
+  while (!campaign.done()) rows.push_back(campaign.run_hour());
+  const scenario::HourReport& night = rows[3];
+  const scenario::HourReport& peak = rows[20];
+  EXPECT_GT(peak.diurnal_level, 2.0 * night.diurnal_level);
+  EXPECT_GT(peak.offered_bits, night.offered_bits);
+}
+
+// --- save / restore ---------------------------------------------------------
+
+TEST(CampaignCheckpoint, RoundTripResumesBitIdentically) {
+  scenario::Campaign reference(tiny_campaign(1, 4));
+  scenario::Campaign resumed(tiny_campaign(8, 4));
+  reference.run_hour();
+  reference.run_hour();
+  std::ostringstream saved;
+  reference.save(saved);
+  std::istringstream in(saved.str());
+  resumed.restore(in);
+  EXPECT_EQ(reference.state_hash(), resumed.state_hash());
+  const scenario::CampaignReport a = reference.run();
+  const scenario::CampaignReport b = resumed.run();
+  EXPECT_EQ(scenario::campaign_digest(a), scenario::campaign_digest(b));
+}
+
+TEST(CampaignCheckpoint, RejectsForeignFingerprintAndStaysUnchanged) {
+  scenario::Campaign source(tiny_campaign(1, 4));
+  source.run_hour();
+  std::ostringstream saved;
+  source.save(saved);
+
+  scenario::CampaignConfig other = tiny_campaign(1, 4);
+  other.seed = 0xBEEF;
+  scenario::Campaign victim(other);
+  const std::uint64_t before = victim.state_hash();
+  std::istringstream in(saved.str());
+  EXPECT_THROW(victim.restore(in), scenario::CampaignStateMismatch);
+  EXPECT_EQ(victim.state_hash(), before);
+}
+
+TEST(CampaignCheckpoint, RejectsCorruptionAndStaysUnchanged) {
+  scenario::Campaign source(tiny_campaign(1, 4));
+  source.run_hour();
+  std::ostringstream saved;
+  source.save(saved);
+  std::string bytes = saved.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+
+  scenario::Campaign victim(tiny_campaign(1, 4));
+  const std::uint64_t before = victim.state_hash();
+  std::istringstream in(bytes);
+  EXPECT_THROW(victim.restore(in), geo::BinFormatError);
+  EXPECT_EQ(victim.state_hash(), before);
+}
+
+TEST(CampaignCheckpointer, FallsBackPastCorruptNewestGeneration) {
+  const std::filesystem::path dir = fresh_dir("skyran_test_campaign_ckpt");
+  scenario::Campaign campaign(tiny_campaign(1, 4));
+  scenario::CampaignCheckpointer ckpt(dir, 2);
+  campaign.run_hour();
+  ckpt.save(campaign);
+  const std::uint64_t hash_h1 = campaign.state_hash();
+  campaign.run_hour();
+  const std::filesystem::path newest = ckpt.save(campaign);
+
+  // Torch the newest generation on disk; restore must fall back to hour 1.
+  {
+    std::ofstream os(newest, std::ios::binary | std::ios::trunc);
+    os << "not a checkpoint";
+  }
+  scenario::Campaign resumed(tiny_campaign(1, 4));
+  const std::optional<int> hour = ckpt.restore_latest(resumed);
+  ASSERT_TRUE(hour.has_value());
+  EXPECT_EQ(*hour, 1);
+  EXPECT_EQ(resumed.state_hash(), hash_h1);
+  EXPECT_FALSE(ckpt.last_errors().empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignCheckpointer, NoGenerationsReturnsNullopt) {
+  const std::filesystem::path dir = fresh_dir("skyran_test_campaign_empty");
+  scenario::CampaignCheckpointer ckpt(dir, 2);
+  scenario::Campaign campaign(tiny_campaign(1, 4));
+  const std::uint64_t before = campaign.state_hash();
+  EXPECT_FALSE(ckpt.restore_latest(campaign).has_value());
+  EXPECT_EQ(campaign.state_hash(), before);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

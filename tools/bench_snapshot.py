@@ -45,7 +45,7 @@ import sys
 # "simd" and "workers" are deliberately absent: they record which dispatch
 # level / pool width the host picked, and CI machines legitimately differ.
 IDENTITY_KEYS = ("bench", "kind", "scenario", "round", "ues", "ttis",
-                 "kernel", "n", "items")
+                 "kernel", "n", "items", "hours", "cells")
 
 
 def read_rows(stream, source):
